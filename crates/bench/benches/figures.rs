@@ -1,0 +1,87 @@
+//! Criterion benches over the figure generators: one benchmark per paper
+//! table/figure, at reduced scale so `cargo bench` stays fast. The full
+//! sweeps are the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvma_bench::{motif_matrix, SweepConfig, TopologyFamily};
+use rvma_microbench::{amortization_figure, latency_figure, ucx_connectx5, verbs_omnipath};
+use rvma_motifs::{Halo3dConfig, Halo3dNode, Sweep3dConfig, Sweep3dNode};
+use rvma_net::router::RoutingKind;
+use rvma_nic::{HostLogic, NicConfig};
+use rvma_sim::SimTime;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/verbs_latency_rows", |b| {
+        let m = verbs_omnipath();
+        b.iter(|| black_box(latency_figure(&m, 10, 4)));
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/ucx_latency_rows", |b| {
+        let m = ucx_connectx5();
+        b.iter(|| black_box(latency_figure(&m, 10, 5)));
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/amortization_rows", |b| {
+        let m = ucx_connectx5();
+        b.iter(|| black_box(amortization_figure(&m, 0.03)));
+    });
+}
+
+fn small_sweep_cfg() -> SweepConfig {
+    SweepConfig {
+        nodes: 16,
+        seed: 42,
+        only_family: Some(TopologyFamily::Dragonfly),
+        only_routing: Some(RoutingKind::Adaptive),
+        speeds: vec![400],
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7/sweep3d_dragonfly_adaptive_400g_16n", |b| {
+        let cfg = small_sweep_cfg();
+        let motif = Sweep3dConfig {
+            pgrid: rvma_bench::factor2(cfg.nodes),
+            cells: [64, 64, 128],
+            zblock: 16,
+            elem_bytes: 8,
+            compute_per_block: SimTime::from_ns(500),
+            octants: 2,
+        };
+        b.iter(|| {
+            black_box(motif_matrix(&cfg, NicConfig::default(), |n| {
+                Box::new(Sweep3dNode::new(motif, n)) as Box<dyn HostLogic>
+            }))
+        });
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8/halo3d_dragonfly_adaptive_400g_16n", |b| {
+        let cfg = small_sweep_cfg();
+        let motif = Halo3dConfig {
+            pgrid: rvma_bench::factor3(cfg.nodes),
+            cells: [32, 32, 32],
+            elem_bytes: 8,
+            iters: 3,
+            compute: SimTime::from_ns(200),
+        };
+        b.iter(|| {
+            black_box(motif_matrix(&cfg, NicConfig::default(), |n| {
+                Box::new(Halo3dNode::new(motif, n)) as Box<dyn HostLogic>
+            }))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 5 — RVMA vs. RDMA put latency over UCX/UCP
+//! (ConnectX-5 EDR / ThunderX2 model), 10 runs × 100,000 iterations with
+//! standard-deviation error bars. Paper headline: 45.8 % latency reduction.
+
+use rvma_bench::{print_table, write_csv};
+use rvma_microbench::{latency_figure, ucx_connectx5};
+
+fn main() {
+    let model = ucx_connectx5();
+    let rows = latency_figure(&model, 10, 5);
+
+    println!("Fig. 5 — RVMA vs RDMA latency, UCX ({})", model.name);
+    println!("(RDMA = UCP put + send/recv completion; mean ± stddev of 10 runs)\n");
+    let headers = ["size(B)", "RDMA(ns)", "±sd", "RVMA(ns)", "±sd", "reduction"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                format!("{:.0}", r.rdma_ns),
+                format!("{:.0}", r.rdma_sd),
+                format!("{:.0}", r.rvma_ns),
+                format!("{:.0}", r.rvma_sd),
+                format!("{:.1}%", r.reduction * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    let peak = rows.iter().map(|r| r.reduction).fold(0.0f64, f64::max);
+    println!(
+        "\npeak latency reduction: {:.1}% (paper: 45.8%)",
+        peak * 100.0
+    );
+    match write_csv("fig5_ucx_latency", &headers, &table) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 6 — UCX amortization analysis: how many data exchanges are needed
+//! before RDMA's one-time buffer setup (registration + address exchange)
+//! is amortized to within the latency test's 3 % margin of error.
+//!
+//! RVMA needs zero: transfers begin without any buffer coordination.
+
+use rvma_bench::{print_table, write_csv};
+use rvma_microbench::{amortization_figure, ucx_connectx5};
+
+fn main() {
+    let model = ucx_connectx5();
+    let tolerance = 0.03;
+    let rows = amortization_figure(&model, tolerance);
+
+    println!(
+        "Fig. 6 — exchanges needed to amortize RDMA buffer setup ({}, {:.0}% margin)",
+        model.name,
+        tolerance * 100.0
+    );
+    println!(
+        "(setup = registration {} + address exchange RTT; RVMA needs 0 exchanges)\n",
+        model.registration
+    );
+    let headers = ["size(B)", "static-routing", "adaptive-routing", "RVMA"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.size.to_string(),
+                r.exchanges_static.to_string(),
+                r.exchanges_adaptive.to_string(),
+                "0".to_string(),
+            ]
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    println!(
+        "\nsmall-message worst case: {} exchanges (paper: \"a large number of \
+         exchanges are needed to amortize away setup costs\")",
+        rows[0].exchanges_static
+    );
+    match write_csv("fig6_amortization", &headers, &table) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

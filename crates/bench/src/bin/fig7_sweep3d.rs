@@ -1,0 +1,79 @@
+//! Fig. 7 — Sweep3D motif, RVMA vs. RDMA across topologies, routing
+//! strategies, and link speeds (100 Gb … 2 Tb).
+//!
+//! Paper headlines: RVMA ≥ 2× on contemporary adaptively-routed networks,
+//! 4.4× at 2 Tbps on the adaptive dragonfly, 3.56× average across the
+//! matrix. Paper scale: 8,192 nodes × 32 cores; default here is a
+//! laptop-scale 64-node grid (`--nodes N` / `--full-scale` to grow it —
+//! speedup ratios are per-message effects and stabilize at small scale).
+
+use rvma_bench::{motif_matrix, print_table, write_csv, SweepConfig};
+use rvma_motifs::{Sweep3dConfig, Sweep3dNode};
+use rvma_net::router::RoutingKind;
+use rvma_nic::{HostLogic, NicConfig};
+use rvma_sim::SimTime;
+
+fn main() {
+    let cfg = SweepConfig::from_args(std::env::args().skip(1));
+    let grid = rvma_bench::factor2(cfg.nodes);
+    let motif = Sweep3dConfig {
+        pgrid: grid,
+        cells: [64, 64, 512],
+        zblock: 16,
+        elem_bytes: 8,
+        compute_per_block: SimTime::from_ns(500),
+        octants: 8,
+    };
+    println!(
+        "Fig. 7 — Sweep3D ({}x{} grid = {} nodes, {} z-blocks/octant, 8 octants)\n",
+        grid[0],
+        grid[1],
+        cfg.nodes,
+        motif.blocks()
+    );
+
+    let cells = motif_matrix(&cfg, NicConfig::default(), |n| {
+        Box::new(Sweep3dNode::new(motif, n)) as Box<dyn HostLogic>
+    });
+
+    let headers = [
+        "topology", "routing", "link", "RDMA(us)", "RVMA(us)", "speedup",
+    ];
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.family.to_string(),
+                c.routing.to_string(),
+                format!("{}G", c.gbps),
+                format!("{:.1}", c.rdma.makespan_us()),
+                format!("{:.1}", c.rvma.makespan_us()),
+                format!("{:.2}x", c.speedup),
+            ]
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    let avg: f64 = cells.iter().map(|c| c.speedup).sum::<f64>() / cells.len() as f64;
+    let best = cells
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("non-empty matrix");
+    let adaptive_2t = cells
+        .iter()
+        .filter(|c| c.routing == RoutingKind::Adaptive && c.gbps == 2000)
+        .map(|c| c.speedup)
+        .fold(0.0f64, f64::max);
+    println!("\naverage speedup: {avg:.2}x (paper: 3.56x)");
+    println!(
+        "best cell: {} {} {}G at {:.2}x (paper best: adaptive dragonfly 2T, 4.4x)",
+        best.family, best.routing, best.gbps, best.speedup
+    );
+    if adaptive_2t > 0.0 {
+        println!("best adaptive @2Tbps: {adaptive_2t:.2}x");
+    }
+    match write_csv("fig7_sweep3d", &headers, &table) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

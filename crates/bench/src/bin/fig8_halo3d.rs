@@ -1,0 +1,66 @@
+//! Fig. 8 — Halo3D motif, RVMA vs. RDMA across topologies, routing
+//! strategies, and link speeds.
+//!
+//! Paper headlines: 1.57× average speedup; best case HyperX DOR at
+//! 400 Gb = 1.64×, at 2 Tb = 1.89×. Halo3D is bandwidth-bound, so topology
+//! matters more and the protocol gap is smaller than Sweep3D's.
+
+use rvma_bench::{motif_matrix, print_table, write_csv, SweepConfig};
+use rvma_motifs::{Halo3dConfig, Halo3dNode};
+use rvma_nic::{HostLogic, NicConfig};
+use rvma_sim::SimTime;
+
+fn main() {
+    let cfg = SweepConfig::from_args(std::env::args().skip(1));
+    let grid = rvma_bench::factor3(cfg.nodes);
+    let motif = Halo3dConfig {
+        pgrid: grid,
+        cells: [32, 32, 32],
+        elem_bytes: 8,
+        iters: 10,
+        compute: SimTime::from_ns(200),
+    };
+    println!(
+        "Fig. 8 — Halo3D ({}x{}x{} grid = {} nodes, 32^3 cells/node, {} iters)\n",
+        grid[0], grid[1], grid[2], cfg.nodes, motif.iters
+    );
+
+    let cells = motif_matrix(&cfg, NicConfig::default(), |n| {
+        Box::new(Halo3dNode::new(motif, n)) as Box<dyn HostLogic>
+    });
+
+    let headers = [
+        "topology", "routing", "link", "RDMA(us)", "RVMA(us)", "speedup",
+    ];
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.family.to_string(),
+                c.routing.to_string(),
+                format!("{}G", c.gbps),
+                format!("{:.1}", c.rdma.makespan_us()),
+                format!("{:.1}", c.rvma.makespan_us()),
+                format!("{:.2}x", c.speedup),
+            ]
+        })
+        .collect();
+    print_table(&headers, &table);
+
+    let avg: f64 = cells.iter().map(|c| c.speedup).sum::<f64>() / cells.len() as f64;
+    println!("\naverage speedup: {avg:.2}x (paper: 1.57x)");
+    let hyperx_dor: Vec<_> = cells
+        .iter()
+        .filter(|c| c.family == "hyperx" && c.routing.to_string() == "static")
+        .collect();
+    for c in hyperx_dor {
+        println!(
+            "hyperx DOR @{}G: {:.2}x (paper: 1.64x @400G, 1.89x @2T)",
+            c.gbps, c.speedup
+        );
+    }
+    match write_csv("fig8_halo3d", &headers, &table) {
+        Ok(p) => println!("csv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

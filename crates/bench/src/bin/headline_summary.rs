@@ -1,0 +1,82 @@
+//! Sec. V headline numbers, regenerated in one place:
+//!
+//! * Verbs latency reduction (paper: up to 65.8 %),
+//! * UCX latency reduction (paper: 45.8 %),
+//! * Sweep3D average / best speedup (paper: 3.56× avg, 4.4× @ 2 Tb
+//!   adaptive dragonfly, ≥ 2× contemporary adaptive),
+//! * Halo3D average speedup (paper: 1.57× avg; HyperX DOR 1.64× @ 400 Gb,
+//!   1.89× @ 2 Tb).
+
+use rvma_bench::{motif_matrix, print_table, SweepConfig};
+use rvma_microbench::{peak_reduction, ucx_connectx5, verbs_omnipath};
+use rvma_motifs::{Halo3dConfig, Halo3dNode, Sweep3dConfig, Sweep3dNode};
+use rvma_nic::{HostLogic, NicConfig};
+use rvma_sim::SimTime;
+
+fn main() {
+    let cfg = SweepConfig::from_args(std::env::args().skip(1));
+
+    let verbs = peak_reduction(&verbs_omnipath()) * 100.0;
+    let ucx = peak_reduction(&ucx_connectx5()) * 100.0;
+
+    let sweep_motif = Sweep3dConfig {
+        pgrid: rvma_bench::factor2(cfg.nodes),
+        cells: [64, 64, 512],
+        zblock: 16,
+        elem_bytes: 8,
+        compute_per_block: SimTime::from_ns(500),
+        octants: 8,
+    };
+    let sweep = motif_matrix(&cfg, NicConfig::default(), |n| {
+        Box::new(Sweep3dNode::new(sweep_motif, n)) as Box<dyn HostLogic>
+    });
+    let sweep_avg = sweep.iter().map(|c| c.speedup).sum::<f64>() / sweep.len() as f64;
+    let sweep_best = sweep.iter().map(|c| c.speedup).fold(0.0f64, f64::max);
+
+    let halo_motif = Halo3dConfig {
+        pgrid: rvma_bench::factor3(cfg.nodes),
+        cells: [32, 32, 32],
+        elem_bytes: 8,
+        iters: 10,
+        compute: SimTime::from_ns(200),
+    };
+    let halo = motif_matrix(&cfg, NicConfig::default(), |n| {
+        Box::new(Halo3dNode::new(halo_motif, n)) as Box<dyn HostLogic>
+    });
+    let halo_avg = halo.iter().map(|c| c.speedup).sum::<f64>() / halo.len() as f64;
+
+    println!(
+        "RVMA reproduction — headline summary ({} motif nodes)\n",
+        cfg.nodes
+    );
+    print_table(
+        &["claim", "paper", "measured"],
+        &[
+            vec![
+                "Fig4 Verbs peak latency reduction".into(),
+                "65.8%".into(),
+                format!("{verbs:.1}%"),
+            ],
+            vec![
+                "Fig5 UCX peak latency reduction".into(),
+                "45.8%".into(),
+                format!("{ucx:.1}%"),
+            ],
+            vec![
+                "Fig7 Sweep3D average speedup".into(),
+                "3.56x".into(),
+                format!("{sweep_avg:.2}x"),
+            ],
+            vec![
+                "Fig7 Sweep3D best cell".into(),
+                "4.4x".into(),
+                format!("{sweep_best:.2}x"),
+            ],
+            vec![
+                "Fig8 Halo3D average speedup".into(),
+                "1.57x".into(),
+                format!("{halo_avg:.2}x"),
+            ],
+        ],
+    );
+}

@@ -1,0 +1,42 @@
+//! Structural report of every fabric instance the figure binaries use:
+//! the documentation behind each run's "system under simulation".
+
+use rvma_bench::{print_table, topology_for, write_csv, TopologyFamily};
+use rvma_net::router::RoutingKind;
+use rvma_net::summary::summarize;
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    println!("Fabric inventory at >= {nodes} terminals\n");
+    let headers = [
+        "topology",
+        "terminals",
+        "switches",
+        "links",
+        "radix",
+        "diameter",
+        "mean dist",
+    ];
+    let mut rows = Vec::new();
+    for family in TopologyFamily::ALL {
+        let spec = topology_for(family, RoutingKind::Static, nodes);
+        let s = summarize(&spec);
+        rows.push(vec![
+            s.name.clone(),
+            s.terminals.to_string(),
+            s.switches.to_string(),
+            s.links.to_string(),
+            format!("{}-{}", s.min_radix, s.max_radix),
+            s.diameter.to_string(),
+            format!("{:.2}", s.mean_distance),
+        ]);
+    }
+    print_table(&headers, &rows);
+    match write_csv("topo_report", &headers, &rows) {
+        Ok(p) => println!("\ncsv: {p}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

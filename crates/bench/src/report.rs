@@ -1,0 +1,68 @@
+//! Table and CSV output for the figure binaries.
+
+use std::fs;
+use std::path::Path;
+
+/// Print an aligned text table: `headers` then `rows`.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Write rows as CSV under `results/<name>.csv` (creating the directory),
+/// and return the path written.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| csv_escape(c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out)?;
+    Ok(path.display().to_string())
+}
+
+/// Quote a CSV cell when needed.
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escape_quotes_commas() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

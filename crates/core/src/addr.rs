@@ -1,0 +1,147 @@
+//! RVMA addressing: virtual mailbox addresses and node addresses.
+//!
+//! The *virtual* in RVMA: the address an initiator targets is **not** a
+//! physical memory address but a 64-bit mailbox identifier, translated at
+//! the target NIC by a single-lookup table (see [`crate::lut`]). The paper
+//! (Sec. IV-A) suggests an IP/port-style split — 32 bits of source network
+//! address space and 32 bits of mailbox ("port") space — which
+//! [`VirtAddr::from_net_port`] provides, though any 64-bit value is valid.
+
+use std::fmt;
+
+/// A 64-bit RVMA virtual mailbox address.
+///
+/// Plays the role RDMA gives to the remote buffer's physical address, except
+/// that it names a *mailbox* (a bucket of receiver-posted buffers) and is
+/// never dereferenced by the initiator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Construct from a raw 64-bit mailbox identifier.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// IP/port-style construction: the high 32 bits name a network-visible
+    /// address space, the low 32 bits a "port" within it (paper Sec. IV-A).
+    #[inline]
+    pub const fn from_net_port(net: u32, port: u32) -> Self {
+        VirtAddr(((net as u64) << 32) | port as u64)
+    }
+
+    /// The raw 64-bit value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// High 32 bits (the "network" half of an IP/port-style address).
+    #[inline]
+    pub const fn net(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Low 32 bits (the "port" half of an IP/port-style address).
+    #[inline]
+    pub const fn port(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#018x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// Identifies a process endpoint on the network: a node id (NID) plus a
+/// process id (PID) pair, as in Portals-style addressing (paper Sec. III-C1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr {
+    /// Network node identifier.
+    pub nid: u32,
+    /// Process identifier within the node.
+    pub pid: u32,
+}
+
+impl NodeAddr {
+    /// Construct from a NID/PID pair.
+    #[inline]
+    pub const fn new(nid: u32, pid: u32) -> Self {
+        NodeAddr { nid, pid }
+    }
+
+    /// Shorthand for process 0 on a node.
+    #[inline]
+    pub const fn node(nid: u32) -> Self {
+        NodeAddr { nid, pid: 0 }
+    }
+}
+
+impl fmt::Debug for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.nid, self.pid)
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_port_roundtrip() {
+        let a = VirtAddr::from_net_port(0x0A00_0001, 8080);
+        assert_eq!(a.net(), 0x0A00_0001);
+        assert_eq!(a.port(), 8080);
+        assert_eq!(a.raw(), 0x0A00_0001_0000_1F90);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let a = VirtAddr::new(0x11FF_0011);
+        assert_eq!(a.raw(), 0x11FF_0011);
+        assert_eq!(VirtAddr::from(7u64), VirtAddr::new(7));
+    }
+
+    #[test]
+    fn distinct_mailboxes_are_distinct() {
+        // The paper's example: 0x11FF0011 and 0x11FF0031 are *different*
+        // mailboxes, not offsets into one buffer.
+        assert_ne!(VirtAddr::new(0x11FF_0011), VirtAddr::new(0x11FF_0031));
+    }
+
+    #[test]
+    fn node_addr_ordering_and_display() {
+        let a = NodeAddr::new(1, 0);
+        let b = NodeAddr::new(1, 1);
+        let c = NodeAddr::node(2);
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "1:0");
+        assert_eq!(format!("{:?}", c), "2:0");
+    }
+
+    #[test]
+    fn virt_addr_display() {
+        assert_eq!(VirtAddr::new(0x11).to_string(), "va:0x0000000000000011");
+    }
+}

@@ -1,0 +1,470 @@
+//! The RVMA endpoint: the software rendering of an RVMA NIC.
+//!
+//! An endpoint owns the lookup table, receives wire [`Fragment`]s, steers
+//! them to mailboxes (paper Fig. 3: translate → write → count → maybe
+//! complete), applies the NACK policy, and exposes window creation to the
+//! local application. Everything is thread-safe: the LUT behind a `RwLock`
+//! (lookups are reads), each mailbox behind its own `Mutex` so traffic to
+//! different mailboxes never contends — the traffic-stream separation the
+//! paper attributes to per-mailbox addressing.
+
+use crate::addr::{NodeAddr, VirtAddr};
+use crate::buffer::Threshold;
+use crate::error::{NackReason, Result, RvmaError};
+use crate::lut::Lut;
+use crate::mailbox::{DeliveryOutcome, Mailbox, MailboxMode, OpKey, DEFAULT_RETAIN_EPOCHS};
+use crate::window::Window;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One wire-level fragment of an RVMA operation (a packet's worth of a put).
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The initiating endpoint.
+    pub initiator: NodeAddr,
+    /// Initiator-unique operation id (groups fragments of one put).
+    pub op_id: u64,
+    /// Target virtual mailbox address.
+    pub dst_vaddr: VirtAddr,
+    /// Total bytes of the whole operation this fragment belongs to.
+    pub op_total_len: u64,
+    /// Byte offset of this fragment within the target's active buffer.
+    pub offset: usize,
+    /// Fragment payload.
+    pub data: Bytes,
+}
+
+impl Fragment {
+    fn op_key(&self) -> OpKey {
+        OpKey {
+            op_id: self.op_id,
+            initiator: ((self.initiator.nid as u64) << 32) | self.initiator.pid as u64,
+        }
+    }
+}
+
+/// Endpoint construction options.
+#[derive(Debug, Clone)]
+pub struct EndpointConfig {
+    /// Whether discarded operations generate NACKs back to initiators
+    /// (paper: "NACKs may be disabled to handle DoS attacks").
+    pub nacks_enabled: bool,
+    /// Optional catch-all mailbox: operations addressed to unregistered
+    /// mailboxes are steered here instead of discarded (paper Sec. III-C
+    /// mentions catch-all mailboxes as part of a full specification).
+    pub catch_all: Option<VirtAddr>,
+    /// Bound on LUT entries (None = unbounded).
+    pub lut_capacity: Option<usize>,
+    /// Retired buffers retained per mailbox for rewind.
+    pub retain_epochs: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            nacks_enabled: true,
+            catch_all: None,
+            lut_capacity: None,
+            retain_epochs: DEFAULT_RETAIN_EPOCHS,
+        }
+    }
+}
+
+/// Counters an endpoint keeps about its datapath (all relaxed atomics —
+/// they are observability, not synchronization).
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Fragments written into a buffer.
+    pub fragments_accepted: AtomicU64,
+    /// Payload bytes written into buffers.
+    pub bytes_accepted: AtomicU64,
+    /// Fragments discarded (closed window / no mailbox / no buffer / bounds).
+    pub fragments_discarded: AtomicU64,
+    /// NACKs that were (or would be) sent to initiators.
+    pub nacks: AtomicU64,
+    /// Epochs completed across all mailboxes.
+    pub epochs_completed: AtomicU64,
+    /// LUT lookups that found a mailbox.
+    pub lut_hits: AtomicU64,
+    /// LUT lookups that missed (before catch-all redirection).
+    pub lut_misses: AtomicU64,
+}
+
+/// A point-in-time copy of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Fragments written into a buffer.
+    pub fragments_accepted: u64,
+    /// Payload bytes written into buffers.
+    pub bytes_accepted: u64,
+    /// Fragments discarded.
+    pub fragments_discarded: u64,
+    /// NACKs sent (or suppressed-but-counted when disabled: 0).
+    pub nacks: u64,
+    /// Epochs completed across all mailboxes.
+    pub epochs_completed: u64,
+    /// LUT hits.
+    pub lut_hits: u64,
+    /// LUT misses.
+    pub lut_misses: u64,
+}
+
+impl EndpointStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            fragments_accepted: self.fragments_accepted.load(Ordering::Relaxed),
+            bytes_accepted: self.bytes_accepted.load(Ordering::Relaxed),
+            fragments_discarded: self.fragments_discarded.load(Ordering::Relaxed),
+            nacks: self.nacks.load(Ordering::Relaxed),
+            epochs_completed: self.epochs_completed.load(Ordering::Relaxed),
+            lut_hits: self.lut_hits.load(Ordering::Relaxed),
+            lut_misses: self.lut_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result of delivering a fragment at an endpoint, as seen by the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverResult {
+    /// Written; optionally it completed an epoch.
+    Ok {
+        /// True when this fragment completed the active buffer's epoch.
+        completed_epoch: bool,
+    },
+    /// Discarded, and the target's policy says to NACK the initiator.
+    Nack(NackReason),
+    /// Discarded silently (NACKs disabled).
+    Dropped(NackReason),
+}
+
+/// The software RVMA NIC for one `NodeAddr`.
+#[derive(Debug)]
+pub struct RvmaEndpoint {
+    addr: NodeAddr,
+    lut: RwLock<Lut>,
+    config: EndpointConfig,
+    stats: EndpointStats,
+}
+
+impl RvmaEndpoint {
+    /// Create an endpoint with default configuration.
+    pub fn new(addr: NodeAddr) -> Arc<Self> {
+        Self::with_config(addr, EndpointConfig::default())
+    }
+
+    /// Create an endpoint with explicit configuration.
+    pub fn with_config(addr: NodeAddr, config: EndpointConfig) -> Arc<Self> {
+        Arc::new(RvmaEndpoint {
+            addr,
+            lut: RwLock::new(Lut::new(config.lut_capacity)),
+            config,
+            stats: EndpointStats::default(),
+        })
+    }
+
+    /// This endpoint's network address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The endpoint's configuration.
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
+    /// Snapshot of datapath counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Create a window: register a mailbox at `vaddr` in Receiver-Steered
+    /// mode (paper: `RVMA_Init_window`). The threshold applies to every
+    /// buffer subsequently posted through the window unless overridden.
+    pub fn init_window(self: &Arc<Self>, vaddr: VirtAddr, threshold: Threshold) -> Result<Window> {
+        self.init_window_mode(vaddr, threshold, MailboxMode::Steered)
+    }
+
+    /// Create a window in an explicit placement mode (`Managed` gives the
+    /// sockets-like stream semantics of paper Sec. IV-B).
+    pub fn init_window_mode(
+        self: &Arc<Self>,
+        vaddr: VirtAddr,
+        threshold: Threshold,
+        mode: MailboxMode,
+    ) -> Result<Window> {
+        if threshold.count == 0 {
+            return Err(RvmaError::ZeroThreshold);
+        }
+        let mailbox = Arc::new(Mutex::new(Mailbox::new(
+            vaddr,
+            mode,
+            self.config.retain_epochs,
+        )));
+        self.lut.write().insert(vaddr, mailbox.clone())?;
+        Ok(Window::new(self.clone(), mailbox, vaddr, threshold))
+    }
+
+    /// Fully remove a (typically closed) mailbox from the LUT, reclaiming
+    /// its entry. After eviction, operations to the address report
+    /// `NoSuchMailbox` rather than `WindowClosed`.
+    pub fn evict(&self, vaddr: VirtAddr) -> bool {
+        self.lut.write().remove(vaddr).is_some()
+    }
+
+    /// Number of registered LUT entries.
+    pub fn lut_len(&self) -> usize {
+        self.lut.read().len()
+    }
+
+    /// The NIC receive datapath: deliver one fragment.
+    pub fn deliver(&self, frag: &Fragment) -> DeliverResult {
+        // Single-lookup translation, with optional catch-all redirect.
+        let mailbox = {
+            let lut = self.lut.read();
+            match lut.lookup(frag.dst_vaddr) {
+                Some(m) => {
+                    self.stats.lut_hits.fetch_add(1, Ordering::Relaxed);
+                    Some(m)
+                }
+                None => {
+                    self.stats.lut_misses.fetch_add(1, Ordering::Relaxed);
+                    self.config.catch_all.and_then(|ca| lut.lookup(ca))
+                }
+            }
+        };
+        let Some(mailbox) = mailbox else {
+            return self.discard(NackReason::NoSuchMailbox);
+        };
+
+        let outcome =
+            mailbox
+                .lock()
+                .deliver(frag.op_key(), frag.op_total_len, frag.offset, &frag.data);
+        match outcome {
+            DeliveryOutcome::Accepted => {
+                self.count_accept(frag);
+                DeliverResult::Ok {
+                    completed_epoch: false,
+                }
+            }
+            DeliveryOutcome::Completed => {
+                self.count_accept(frag);
+                self.stats.epochs_completed.fetch_add(1, Ordering::Relaxed);
+                DeliverResult::Ok {
+                    completed_epoch: true,
+                }
+            }
+            DeliveryOutcome::Discarded(reason) => self.discard(reason),
+        }
+    }
+
+    fn count_accept(&self, frag: &Fragment) {
+        self.stats
+            .fragments_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_accepted
+            .fetch_add(frag.data.len() as u64, Ordering::Relaxed);
+    }
+
+    fn discard(&self, reason: NackReason) -> DeliverResult {
+        self.stats
+            .fragments_discarded
+            .fetch_add(1, Ordering::Relaxed);
+        if self.config.nacks_enabled {
+            self.stats.nacks.fetch_add(1, Ordering::Relaxed);
+            DeliverResult::Nack(reason)
+        } else {
+            DeliverResult::Dropped(reason)
+        }
+    }
+
+    /// Look up a mailbox for read-side operations (rewind service, tests).
+    pub fn mailbox(&self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
+        self.lut.read().lookup(vaddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Threshold;
+
+    fn frag(va: u64, op: u64, total: u64, off: usize, data: Vec<u8>) -> Fragment {
+        Fragment {
+            initiator: NodeAddr::node(9),
+            op_id: op,
+            dst_vaddr: VirtAddr::new(va),
+            op_total_len: total,
+            offset: off,
+            data: Bytes::from(data),
+        }
+    }
+
+    #[test]
+    fn window_roundtrip_via_deliver() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let win = ep
+            .init_window(VirtAddr::new(5), Threshold::bytes(4))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 4]).unwrap();
+        let r = ep.deliver(&frag(5, 1, 4, 0, vec![7; 4]));
+        assert_eq!(
+            r,
+            DeliverResult::Ok {
+                completed_epoch: true
+            }
+        );
+        assert_eq!(n.poll().unwrap().data(), &[7; 4]);
+        let s = ep.stats();
+        assert_eq!(s.fragments_accepted, 1);
+        assert_eq!(s.bytes_accepted, 4);
+        assert_eq!(s.epochs_completed, 1);
+        assert_eq!(s.lut_hits, 1);
+    }
+
+    #[test]
+    fn unknown_mailbox_nacks() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let r = ep.deliver(&frag(99, 1, 4, 0, vec![0; 4]));
+        assert_eq!(r, DeliverResult::Nack(NackReason::NoSuchMailbox));
+        assert_eq!(ep.stats().lut_misses, 1);
+        assert_eq!(ep.stats().nacks, 1);
+    }
+
+    #[test]
+    fn nacks_disabled_drops_silently() {
+        let ep = RvmaEndpoint::with_config(
+            NodeAddr::node(1),
+            EndpointConfig {
+                nacks_enabled: false,
+                ..Default::default()
+            },
+        );
+        let r = ep.deliver(&frag(99, 1, 4, 0, vec![0; 4]));
+        assert_eq!(r, DeliverResult::Dropped(NackReason::NoSuchMailbox));
+        assert_eq!(ep.stats().nacks, 0);
+        assert_eq!(ep.stats().fragments_discarded, 1);
+    }
+
+    #[test]
+    fn catch_all_mailbox_captures_strays() {
+        let ep = RvmaEndpoint::with_config(
+            NodeAddr::node(1),
+            EndpointConfig {
+                catch_all: Some(VirtAddr::new(0)),
+                ..Default::default()
+            },
+        );
+        let win = ep
+            .init_window(VirtAddr::new(0), Threshold::bytes(4))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 4]).unwrap();
+        let r = ep.deliver(&frag(12345, 1, 4, 0, vec![3; 4]));
+        assert_eq!(
+            r,
+            DeliverResult::Ok {
+                completed_epoch: true
+            }
+        );
+        assert_eq!(n.poll().unwrap().data(), &[3; 4]);
+        // It still counts as a LUT miss (the primary lookup failed).
+        assert_eq!(ep.stats().lut_misses, 1);
+    }
+
+    #[test]
+    fn duplicate_window_fails() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let _w = ep
+            .init_window(VirtAddr::new(5), Threshold::bytes(4))
+            .unwrap();
+        assert_eq!(
+            ep.init_window(VirtAddr::new(5), Threshold::bytes(4))
+                .err()
+                .unwrap(),
+            RvmaError::MailboxExists(VirtAddr::new(5))
+        );
+    }
+
+    #[test]
+    fn lut_capacity_limits_windows() {
+        let ep = RvmaEndpoint::with_config(
+            NodeAddr::node(1),
+            EndpointConfig {
+                lut_capacity: Some(1),
+                ..Default::default()
+            },
+        );
+        let _w = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(4))
+            .unwrap();
+        assert_eq!(
+            ep.init_window(VirtAddr::new(2), Threshold::bytes(4))
+                .err()
+                .unwrap(),
+            RvmaError::LutFull
+        );
+        assert!(ep.evict(VirtAddr::new(1)));
+        let _w2 = ep
+            .init_window(VirtAddr::new(2), Threshold::bytes(4))
+            .unwrap();
+        assert_eq!(ep.lut_len(), 1);
+    }
+
+    #[test]
+    fn closed_window_nacks_but_stays_resolvable() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let win = ep
+            .init_window(VirtAddr::new(5), Threshold::bytes(4))
+            .unwrap();
+        win.close();
+        let r = ep.deliver(&frag(5, 1, 4, 0, vec![0; 4]));
+        assert_eq!(r, DeliverResult::Nack(NackReason::WindowClosed));
+        // After eviction the reason degrades to NoSuchMailbox.
+        ep.evict(VirtAddr::new(5));
+        let r = ep.deliver(&frag(5, 2, 4, 0, vec![0; 4]));
+        assert_eq!(r, DeliverResult::Nack(NackReason::NoSuchMailbox));
+    }
+
+    #[test]
+    fn zero_threshold_window_rejected() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        assert_eq!(
+            ep.init_window(VirtAddr::new(5), Threshold::bytes(0))
+                .err()
+                .unwrap(),
+            RvmaError::ZeroThreshold
+        );
+    }
+
+    #[test]
+    fn concurrent_delivery_to_distinct_mailboxes() {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let mut notifications = Vec::new();
+        for i in 0..8u64 {
+            let win = ep
+                .init_window(VirtAddr::new(i), Threshold::bytes(1024))
+                .unwrap();
+            notifications.push(win.post_buffer(vec![0; 1024]).unwrap());
+        }
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let ep = &ep;
+                s.spawn(move || {
+                    for k in 0..256usize {
+                        let f = frag(i, k as u64, 4, k * 4, vec![i as u8; 4]);
+                        assert!(matches!(ep.deliver(&f), DeliverResult::Ok { .. }));
+                    }
+                });
+            }
+        });
+        for (i, n) in notifications.iter_mut().enumerate() {
+            let buf = n.poll().expect("all epochs completed");
+            assert_eq!(buf.data(), vec![i as u8; 1024].as_slice());
+        }
+        assert_eq!(ep.stats().epochs_completed, 8);
+        assert_eq!(ep.stats().bytes_accepted, 8 * 1024);
+    }
+}

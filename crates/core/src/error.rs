@@ -1,0 +1,153 @@
+//! Status and error types for RVMA operations.
+//!
+//! The paper's API returns an `RVMA_Status`; we model the failure half of
+//! that as [`RvmaError`] and use `Result<T, RvmaError>` idiomatically. NACK
+//! behaviour (Sec. III-C: operations on a closed mailbox "are automatically
+//! discarded and *may* result in a NACK notification to the initiator;
+//! NACKs may be disabled to handle DoS attacks") is captured by
+//! [`NackReason`] plus the endpoint's NACK policy.
+
+use crate::addr::VirtAddr;
+use std::fmt;
+
+/// Why a target endpoint refused (and discarded) an incoming operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NackReason {
+    /// The targeted mailbox exists but its window has been closed.
+    WindowClosed,
+    /// No mailbox is registered at the targeted virtual address (and no
+    /// catch-all mailbox is configured).
+    NoSuchMailbox,
+    /// The mailbox exists but has no posted buffer to receive into.
+    NoBufferPosted,
+    /// The operation's `offset + len` exceeds the active buffer's extent.
+    OutOfBounds,
+}
+
+impl fmt::Display for NackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NackReason::WindowClosed => "window closed",
+            NackReason::NoSuchMailbox => "no such mailbox",
+            NackReason::NoBufferPosted => "no buffer posted",
+            NackReason::OutOfBounds => "write out of buffer bounds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by the RVMA API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvmaError {
+    /// A mailbox is already registered at this virtual address.
+    MailboxExists(VirtAddr),
+    /// No mailbox is registered at this virtual address.
+    UnknownMailbox(VirtAddr),
+    /// The window handle refers to a mailbox that was closed.
+    WindowClosed(VirtAddr),
+    /// The target refused the operation; carries the NACK reason. Only
+    /// reported when the target has NACKs enabled — with NACKs disabled the
+    /// operation is silently discarded and the initiator sees `Ok`.
+    Nacked(NackReason),
+    /// A posted buffer is smaller than the window's byte-count threshold,
+    /// so the epoch could never complete.
+    BufferTooSmall {
+        /// Bytes the buffer provides.
+        buffer: usize,
+        /// Bytes the epoch threshold demands.
+        threshold: u64,
+    },
+    /// `epoch_threshold` must be positive.
+    ZeroThreshold,
+    /// An empty buffer cannot be posted.
+    EmptyBuffer,
+    /// Rewind asked for an epoch older than the retired-buffer ring retains.
+    EpochNotRetained {
+        /// The epoch requested.
+        requested: u64,
+        /// The oldest epoch still held.
+        oldest_retained: Option<u64>,
+    },
+    /// The destination node is not reachable through the transport.
+    UnknownDestination,
+    /// The LUT is full (NIC lookup capacity exhausted).
+    LutFull,
+    /// The operation is not valid for the mailbox's mode (e.g. an offset
+    /// put into a receiver-managed stream mailbox).
+    WrongMode,
+}
+
+impl fmt::Display for RvmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvmaError::MailboxExists(va) => write!(f, "mailbox already registered at {va}"),
+            RvmaError::UnknownMailbox(va) => write!(f, "no mailbox at {va}"),
+            RvmaError::WindowClosed(va) => write!(f, "window at {va} is closed"),
+            RvmaError::Nacked(r) => write!(f, "target NACKed operation: {r}"),
+            RvmaError::BufferTooSmall { buffer, threshold } => write!(
+                f,
+                "posted buffer ({buffer} B) smaller than byte threshold ({threshold} B)"
+            ),
+            RvmaError::ZeroThreshold => f.write_str("epoch threshold must be positive"),
+            RvmaError::EmptyBuffer => f.write_str("cannot post an empty buffer"),
+            RvmaError::EpochNotRetained {
+                requested,
+                oldest_retained,
+            } => match oldest_retained {
+                Some(o) => write!(f, "epoch {requested} not retained (oldest is {o})"),
+                None => write!(f, "epoch {requested} not retained (no retired buffers)"),
+            },
+            RvmaError::UnknownDestination => f.write_str("destination endpoint not reachable"),
+            RvmaError::LutFull => f.write_str("NIC lookup table is full"),
+            RvmaError::WrongMode => f.write_str("operation invalid for this mailbox mode"),
+        }
+    }
+}
+
+impl std::error::Error for RvmaError {}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, RvmaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_are_informative() {
+        let e = RvmaError::Nacked(NackReason::WindowClosed);
+        assert_eq!(e.to_string(), "target NACKed operation: window closed");
+        let e = RvmaError::BufferTooSmall {
+            buffer: 10,
+            threshold: 64,
+        };
+        assert!(e.to_string().contains("10 B"));
+        assert!(e.to_string().contains("64 B"));
+        let e = RvmaError::EpochNotRetained {
+            requested: 3,
+            oldest_retained: Some(5),
+        };
+        assert!(e.to_string().contains("oldest is 5"));
+        let e = RvmaError::EpochNotRetained {
+            requested: 3,
+            oldest_retained: None,
+        };
+        assert!(e.to_string().contains("no retired buffers"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RvmaError::ZeroThreshold);
+    }
+
+    #[test]
+    fn nack_reasons_display() {
+        assert_eq!(NackReason::NoSuchMailbox.to_string(), "no such mailbox");
+        assert_eq!(NackReason::NoBufferPosted.to_string(), "no buffer posted");
+        assert_eq!(
+            NackReason::OutOfBounds.to_string(),
+            "write out of buffer bounds"
+        );
+    }
+}

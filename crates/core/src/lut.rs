@@ -1,0 +1,144 @@
+//! The NIC lookup table (LUT): virtual mailbox address → mailbox.
+//!
+//! Paper Sec. III-A / IV-A: RVMA deliberately uses a *simple* lookup table
+//! rather than Portals-style matching hardware. No wildcards, no masks, no
+//! ordered multi-candidate resolution — every lookup has exactly one answer
+//! (item found or not found), which is what keeps the hardware small and
+//! single-cycle. Each entry stores the mailbox address, buffer head address
+//! and completion pointer address (≈24 B in hardware); here the entry is an
+//! `Arc` to the mailbox that owns that state.
+//!
+//! Capacity is bounded (like real NIC SRAM); inserting past capacity fails
+//! with [`RvmaError::LutFull`] so callers can model counter/entry exhaustion
+//! (the paper notes overflow would spill to host memory at a latency cost —
+//! the `rvma-nic` crate models that cost; here we expose the bound).
+
+use crate::addr::VirtAddr;
+use crate::error::{Result, RvmaError};
+use crate::mailbox::Mailbox;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bounded, single-resolution lookup table.
+#[derive(Debug)]
+pub struct Lut {
+    map: HashMap<VirtAddr, Arc<Mutex<Mailbox>>>,
+    capacity: Option<usize>,
+}
+
+impl Lut {
+    /// An empty LUT; `capacity = None` means unbounded (host-memory spill
+    /// is assumed free at the semantic level).
+    pub fn new(capacity: Option<usize>) -> Self {
+        Lut {
+            map: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Register a mailbox. Fails if the address is taken or the table full.
+    pub fn insert(&mut self, vaddr: VirtAddr, mailbox: Arc<Mutex<Mailbox>>) -> Result<()> {
+        if self.map.contains_key(&vaddr) {
+            return Err(RvmaError::MailboxExists(vaddr));
+        }
+        if let Some(cap) = self.capacity {
+            if self.map.len() >= cap {
+                return Err(RvmaError::LutFull);
+            }
+        }
+        self.map.insert(vaddr, mailbox);
+        Ok(())
+    }
+
+    /// The single-lookup resolution: found or not found, never ambiguous.
+    pub fn lookup(&self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
+        self.map.get(&vaddr).cloned()
+    }
+
+    /// Remove an entry entirely (reclaiming LUT capacity). Returns the
+    /// mailbox if it was present.
+    pub fn remove(&mut self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
+        self.map.remove(&vaddr)
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// All registered virtual addresses (diagnostics).
+    pub fn addresses(&self) -> Vec<VirtAddr> {
+        self.map.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::{MailboxMode, DEFAULT_RETAIN_EPOCHS};
+
+    fn mbox(v: u64) -> Arc<Mutex<Mailbox>> {
+        Arc::new(Mutex::new(Mailbox::new(
+            VirtAddr::new(v),
+            MailboxMode::Steered,
+            DEFAULT_RETAIN_EPOCHS,
+        )))
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut lut = Lut::new(None);
+        lut.insert(VirtAddr::new(1), mbox(1)).unwrap();
+        assert!(lut.lookup(VirtAddr::new(1)).is_some());
+        assert!(lut.lookup(VirtAddr::new(2)).is_none());
+        assert_eq!(lut.len(), 1);
+        assert!(lut.remove(VirtAddr::new(1)).is_some());
+        assert!(lut.is_empty());
+        assert!(lut.remove(VirtAddr::new(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_insert_fails() {
+        let mut lut = Lut::new(None);
+        lut.insert(VirtAddr::new(7), mbox(7)).unwrap();
+        assert_eq!(
+            lut.insert(VirtAddr::new(7), mbox(7)),
+            Err(RvmaError::MailboxExists(VirtAddr::new(7)))
+        );
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_reclaimable() {
+        let mut lut = Lut::new(Some(2));
+        lut.insert(VirtAddr::new(1), mbox(1)).unwrap();
+        lut.insert(VirtAddr::new(2), mbox(2)).unwrap();
+        assert_eq!(
+            lut.insert(VirtAddr::new(3), mbox(3)),
+            Err(RvmaError::LutFull)
+        );
+        lut.remove(VirtAddr::new(1));
+        assert!(lut.insert(VirtAddr::new(3), mbox(3)).is_ok());
+        assert_eq!(lut.capacity(), Some(2));
+    }
+
+    #[test]
+    fn addresses_lists_entries() {
+        let mut lut = Lut::new(None);
+        lut.insert(VirtAddr::new(5), mbox(5)).unwrap();
+        lut.insert(VirtAddr::new(9), mbox(9)).unwrap();
+        let mut addrs = lut.addresses();
+        addrs.sort();
+        assert_eq!(addrs, vec![VirtAddr::new(5), VirtAddr::new(9)]);
+    }
+}

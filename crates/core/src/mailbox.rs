@@ -1,0 +1,565 @@
+//! Mailboxes: buckets of receiver-posted buffers with threshold completion.
+//!
+//! An RVMA virtual address names a mailbox; the mailbox owns a FIFO queue of
+//! posted buffers. Incoming operations land in the *head* (active) buffer
+//! only. The NIC counts bytes or operations against the active buffer's
+//! threshold; on reaching it the buffer is completed — notification written,
+//! epoch advanced, queue rotated to the next posted buffer — and retired
+//! into a bounded ring that backs the paper's hardware rewind (Sec. IV-F).
+//!
+//! Two placement modes exist (paper Sec. IV-B):
+//!
+//! * **Receiver-Steered** (the paper's HPC focus): every operation carries an
+//!   offset into the active buffer, so packets may land in any order —
+//!   this is what frees RVMA from byte-level network ordering.
+//! * **Receiver-Managed** (the sockets-like mode): the receiver assigns
+//!   placement, appending arrivals at a cursor like a stream socket.
+
+use crate::addr::VirtAddr;
+use crate::buffer::{CompletedBuffer, EpochType, PostedBuffer};
+use crate::error::{NackReason, Result, RvmaError};
+use std::collections::{HashMap, VecDeque};
+
+/// Placement mode of a mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxMode {
+    /// Operations carry explicit offsets into the active buffer
+    /// (out-of-order safe; the paper's primary mode).
+    Steered,
+    /// The receiver appends arrivals contiguously at a cursor
+    /// (sockets-like; requires per-flow ordered delivery).
+    Managed,
+}
+
+/// Default number of retired (completed) buffers retained per mailbox for
+/// rewind. The paper leaves this a design parameter of the NIC's hardware
+/// list; 4 epochs of history is enough for "rollback to the last completed
+/// timestep" and keeps memory bounded.
+pub const DEFAULT_RETAIN_EPOCHS: usize = 4;
+
+/// Key identifying an in-flight multi-fragment operation at the target, so
+/// op-counted thresholds count *operations* (not packets) even when a put
+/// was fragmented and its packets arrive out of order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpKey {
+    /// Initiator-unique operation id.
+    pub op_id: u64,
+    /// Initiator node id (op ids are only unique per initiator).
+    pub initiator: u64,
+}
+
+/// Outcome of delivering one fragment to a mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Fragment written; epoch still in progress.
+    Accepted,
+    /// Fragment written and it completed the active epoch.
+    Completed,
+    /// Fragment discarded; carries the reason a NACK would report.
+    Discarded(NackReason),
+}
+
+/// A mailbox: the target-side state behind one RVMA virtual address.
+#[derive(Debug)]
+pub struct Mailbox {
+    vaddr: VirtAddr,
+    mode: MailboxMode,
+    /// Head is the active buffer; the rest are queued for future epochs.
+    queue: VecDeque<PostedBuffer>,
+    /// Bytes written into the active buffer this epoch.
+    bytes_this_epoch: u64,
+    /// Operations completed against the active buffer this epoch.
+    ops_this_epoch: u64,
+    /// Per-op received-byte progress for multi-fragment ops (op counting).
+    op_progress: HashMap<OpKey, u64>,
+    /// Number of completed epochs == index of the current epoch.
+    epoch: u64,
+    /// Retired buffers, oldest first, bounded by `retain`.
+    retired: VecDeque<CompletedBuffer>,
+    retain: usize,
+    closed: bool,
+    /// Stream cursor for `Managed` mode.
+    cursor: usize,
+}
+
+impl Mailbox {
+    /// A new, open mailbox with no buffers posted.
+    pub fn new(vaddr: VirtAddr, mode: MailboxMode, retain: usize) -> Self {
+        Mailbox {
+            vaddr,
+            mode,
+            queue: VecDeque::new(),
+            bytes_this_epoch: 0,
+            ops_this_epoch: 0,
+            op_progress: HashMap::new(),
+            epoch: 0,
+            retired: VecDeque::new(),
+            retain,
+            closed: false,
+            cursor: 0,
+        }
+    }
+
+    /// The mailbox's virtual address.
+    pub fn vaddr(&self) -> VirtAddr {
+        self.vaddr
+    }
+
+    /// The mailbox's placement mode.
+    pub fn mode(&self) -> MailboxMode {
+        self.mode
+    }
+
+    /// Current epoch (number of completed epochs so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of buffers posted and not yet completed (including active).
+    pub fn posted_buffers(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True once the mailbox has been closed (`RVMA_Close_Win`).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Bytes landed in the active buffer so far this epoch.
+    pub fn bytes_this_epoch(&self) -> u64 {
+        self.bytes_this_epoch
+    }
+
+    /// Operations landed against the active buffer so far this epoch.
+    pub fn ops_this_epoch(&self) -> u64 {
+        self.ops_this_epoch
+    }
+
+    /// Post a buffer (paper: `RVMA_Post_buffer`). Appends to the bucket;
+    /// becomes active when all earlier buffers have completed.
+    pub(crate) fn post(&mut self, buf: PostedBuffer) -> Result<()> {
+        if self.closed {
+            return Err(RvmaError::WindowClosed(self.vaddr));
+        }
+        if buf.data.is_empty() {
+            return Err(RvmaError::EmptyBuffer);
+        }
+        buf.threshold.validate(buf.data.len())?;
+        self.queue.push_back(buf);
+        Ok(())
+    }
+
+    /// Deliver one fragment of an operation.
+    ///
+    /// `op_key` identifies the whole operation, `op_total_len` its full byte
+    /// count (fragments of one op share both), `offset` is the byte offset
+    /// into the active buffer (ignored — receiver-assigned — in `Managed`
+    /// mode), and `data` the fragment payload.
+    ///
+    /// This is the NIC datapath of paper Fig. 3 steps 2–5: translate, write
+    /// payload, bump counters, check threshold, maybe complete.
+    pub(crate) fn deliver(
+        &mut self,
+        op_key: OpKey,
+        op_total_len: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> DeliveryOutcome {
+        if self.closed {
+            return DeliveryOutcome::Discarded(NackReason::WindowClosed);
+        }
+        let Some(active) = self.queue.front_mut() else {
+            return DeliveryOutcome::Discarded(NackReason::NoBufferPosted);
+        };
+
+        // Placement.
+        let place_at = match self.mode {
+            MailboxMode::Steered => offset,
+            MailboxMode::Managed => self.cursor,
+        };
+        let end = match place_at.checked_add(data.len()) {
+            Some(e) if e <= active.data.len() => e,
+            _ => return DeliveryOutcome::Discarded(NackReason::OutOfBounds),
+        };
+        active.data[place_at..end].copy_from_slice(data);
+        if self.mode == MailboxMode::Managed {
+            self.cursor = end;
+        }
+
+        // Counting.
+        self.bytes_this_epoch += data.len() as u64;
+        if data.len() as u64 >= op_total_len {
+            // Single-fragment op: count immediately, no tracking entry.
+            self.ops_this_epoch += 1;
+        } else {
+            let got = self.op_progress.entry(op_key).or_insert(0);
+            *got += data.len() as u64;
+            if *got >= op_total_len {
+                self.op_progress.remove(&op_key);
+                self.ops_this_epoch += 1;
+            }
+        }
+
+        // Threshold check.
+        let t = active.threshold;
+        let reached = match t.ty {
+            EpochType::Bytes => self.bytes_this_epoch >= t.count,
+            EpochType::Ops => self.ops_this_epoch >= t.count,
+        };
+        if reached {
+            self.complete_active();
+            DeliveryOutcome::Completed
+        } else {
+            DeliveryOutcome::Accepted
+        }
+    }
+
+    /// Complete the active buffer *now*, regardless of threshold (paper:
+    /// `RVMA_Win_inc_epoch` — hand a partial buffer to software, for
+    /// streams, unknown-size messages, or error recovery).
+    pub(crate) fn inc_epoch(&mut self) -> Result<()> {
+        if self.closed {
+            return Err(RvmaError::WindowClosed(self.vaddr));
+        }
+        if self.queue.is_empty() {
+            return Err(RvmaError::Nacked(NackReason::NoBufferPosted));
+        }
+        self.complete_active();
+        Ok(())
+    }
+
+    fn complete_active(&mut self) {
+        let buf = self.queue.pop_front().expect("active buffer present");
+        // Valid length: in steered mode the highest byte written is unknown
+        // without per-byte tracking; the hardware writes the *count* of bytes
+        // received, which equals the extent for the recommended
+        // non-overlapping usage. We mirror that: valid_len = bytes counted,
+        // clamped to the buffer.
+        let valid = (self.bytes_this_epoch as usize).min(buf.data.len());
+        let completed = CompletedBuffer::new(buf.data, valid, self.epoch, self.vaddr);
+
+        // Retire for rewind, evicting the oldest beyond capacity.
+        self.retired.push_back(completed.clone());
+        while self.retired.len() > self.retain {
+            self.retired.pop_front();
+        }
+
+        // The completing write to the completion pointer.
+        buf.notify.complete(completed);
+
+        self.epoch += 1;
+        self.bytes_this_epoch = 0;
+        self.ops_this_epoch = 0;
+        self.op_progress.clear();
+        self.cursor = 0;
+    }
+
+    /// Close the mailbox (paper: `RVMA_Close_Win`). Subsequent operations
+    /// are discarded (optionally NACKed by the endpoint). Queued, never-
+    /// activated buffers are returned to the caller.
+    pub(crate) fn close(&mut self) -> Vec<Vec<u8>> {
+        self.closed = true;
+        self.op_progress.clear();
+        self.queue.drain(..).map(|b| b.data).collect()
+    }
+
+    /// The retired buffer completed exactly `back` epochs before the current
+    /// epoch: `back = 1` is the most recently completed buffer. This is the
+    /// hardware rewind command of paper Sec. IV-F.
+    pub fn rewind(&self, back: u64) -> Result<CompletedBuffer> {
+        if back == 0 || back > self.retired.len() as u64 {
+            return Err(RvmaError::EpochNotRetained {
+                requested: self.epoch.saturating_sub(back),
+                oldest_retained: self.retired.front().map(CompletedBuffer::epoch),
+            });
+        }
+        let idx = self.retired.len() - back as usize;
+        Ok(self.retired[idx].clone())
+    }
+
+    /// The retired buffer for an absolute epoch number, if still retained.
+    pub fn retired_epoch(&self, epoch: u64) -> Result<CompletedBuffer> {
+        self.retired
+            .iter()
+            .find(|b| b.epoch() == epoch)
+            .cloned()
+            .ok_or(RvmaError::EpochNotRetained {
+                requested: epoch,
+                oldest_retained: self.retired.front().map(CompletedBuffer::epoch),
+            })
+    }
+
+    /// Number of retired buffers currently retained.
+    pub fn retained_count(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Threshold;
+    use crate::notify::{Notification, NotificationSlot};
+
+    fn mb(mode: MailboxMode) -> Mailbox {
+        Mailbox::new(VirtAddr::new(0xAB), mode, DEFAULT_RETAIN_EPOCHS)
+    }
+
+    fn post(m: &mut Mailbox, len: usize, t: Threshold) -> Notification {
+        let slot = NotificationSlot::new();
+        m.post(PostedBuffer::new(vec![0; len], t, slot.clone()))
+            .expect("post ok");
+        Notification::new(slot)
+    }
+
+    fn key(op: u64) -> OpKey {
+        OpKey {
+            op_id: op,
+            initiator: 1,
+        }
+    }
+
+    #[test]
+    fn byte_threshold_completes_exactly() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        assert_eq!(m.deliver(key(1), 4, 0, &[1; 4]), DeliveryOutcome::Accepted);
+        assert!(n.poll().is_none());
+        assert_eq!(m.deliver(key(2), 4, 4, &[2; 4]), DeliveryOutcome::Completed);
+        let buf = n.poll().expect("completed");
+        assert_eq!(buf.data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(buf.epoch(), 0);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn out_of_order_fragments_complete_identically() {
+        // The core adaptive-routing claim: any arrival order, same result.
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        assert_eq!(m.deliver(key(1), 8, 4, &[2; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.deliver(key(1), 8, 0, &[1; 4]), DeliveryOutcome::Completed);
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn op_threshold_counts_ops_not_fragments() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 64, Threshold::ops(2));
+        // Op 1 in three fragments of a 12-byte op.
+        assert_eq!(m.deliver(key(1), 12, 0, &[1; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.deliver(key(1), 12, 4, &[1; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.deliver(key(1), 12, 8, &[1; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.ops_this_epoch(), 1);
+        assert!(n.poll().is_none());
+        // Op 2 single-fragment completes the epoch.
+        assert_eq!(
+            m.deliver(key(2), 4, 12, &[2; 4]),
+            DeliveryOutcome::Completed
+        );
+        assert!(n.poll().is_some());
+    }
+
+    #[test]
+    fn multi_fragment_ops_interleaved_from_two_initiators() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 64, Threshold::ops(2));
+        let a = OpKey {
+            op_id: 7,
+            initiator: 1,
+        };
+        let b = OpKey {
+            op_id: 7, // same op id, different initiator: must not collide
+            initiator: 2,
+        };
+        assert_eq!(m.deliver(a, 8, 0, &[1; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.deliver(b, 8, 8, &[2; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.ops_this_epoch(), 0);
+        assert_eq!(m.deliver(a, 8, 4, &[1; 4]), DeliveryOutcome::Accepted);
+        assert_eq!(m.ops_this_epoch(), 1);
+        assert_eq!(m.deliver(b, 8, 12, &[2; 4]), DeliveryOutcome::Completed);
+        assert_eq!(
+            n.poll().unwrap().data()[..16],
+            [1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2][..]
+        );
+    }
+
+    #[test]
+    fn epoch_rotation_is_fifo() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n1 = post(&mut m, 4, Threshold::bytes(4));
+        let mut n2 = post(&mut m, 4, Threshold::bytes(4));
+        assert_eq!(m.posted_buffers(), 2);
+        m.deliver(key(1), 4, 0, &[1; 4]);
+        m.deliver(key(2), 4, 0, &[2; 4]);
+        assert_eq!(n1.poll().unwrap().data(), &[1; 4]);
+        assert_eq!(n2.poll().unwrap().data(), &[2; 4]);
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.posted_buffers(), 0);
+    }
+
+    #[test]
+    fn no_buffer_posted_discards() {
+        let mut m = mb(MailboxMode::Steered);
+        assert_eq!(
+            m.deliver(key(1), 4, 0, &[0; 4]),
+            DeliveryOutcome::Discarded(NackReason::NoBufferPosted)
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_discards_without_counting() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        assert_eq!(
+            m.deliver(key(1), 16, 4, &[0; 16]),
+            DeliveryOutcome::Discarded(NackReason::OutOfBounds)
+        );
+        assert_eq!(m.bytes_this_epoch(), 0);
+        // Offset overflow must not panic.
+        assert_eq!(
+            m.deliver(key(2), 4, usize::MAX, &[0; 4]),
+            DeliveryOutcome::Discarded(NackReason::OutOfBounds)
+        );
+        assert!(n.poll().is_none());
+    }
+
+    #[test]
+    fn closed_mailbox_discards_and_returns_queued() {
+        let mut m = mb(MailboxMode::Steered);
+        let _n1 = post(&mut m, 4, Threshold::bytes(4));
+        let _n2 = post(&mut m, 6, Threshold::bytes(6));
+        let returned = m.close();
+        assert_eq!(returned.len(), 2);
+        assert_eq!(returned[1].len(), 6);
+        assert!(m.is_closed());
+        assert_eq!(
+            m.deliver(key(1), 4, 0, &[0; 4]),
+            DeliveryOutcome::Discarded(NackReason::WindowClosed)
+        );
+        // Posting after close fails.
+        let slot = NotificationSlot::new();
+        assert_eq!(
+            m.post(PostedBuffer::new(vec![0; 4], Threshold::bytes(4), slot)),
+            Err(RvmaError::WindowClosed(VirtAddr::new(0xAB)))
+        );
+    }
+
+    #[test]
+    fn inc_epoch_hands_over_partial_buffer() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 16, Threshold::bytes(16));
+        m.deliver(key(1), 4, 0, &[9; 4]);
+        m.inc_epoch().expect("active buffer exists");
+        let buf = n.poll().expect("partial completion delivered");
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.data(), &[9; 4]);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn inc_epoch_without_buffer_errors() {
+        let mut m = mb(MailboxMode::Steered);
+        assert!(m.inc_epoch().is_err());
+    }
+
+    #[test]
+    fn rewind_returns_previous_epochs() {
+        let mut m = mb(MailboxMode::Steered);
+        for _ in 0..3 {
+            let _ = post(&mut m, 4, Threshold::bytes(4));
+        }
+        m.deliver(key(1), 4, 0, &[1; 4]);
+        m.deliver(key(2), 4, 0, &[2; 4]);
+        m.deliver(key(3), 4, 0, &[3; 4]);
+        assert_eq!(m.epoch(), 3);
+        assert_eq!(m.rewind(1).unwrap().data(), &[3; 4]);
+        assert_eq!(m.rewind(2).unwrap().data(), &[2; 4]);
+        assert_eq!(m.rewind(3).unwrap().data(), &[1; 4]);
+        assert!(m.rewind(4).is_err());
+        assert!(m.rewind(0).is_err());
+        assert_eq!(m.retired_epoch(1).unwrap().data(), &[2; 4]);
+        assert!(m.retired_epoch(99).is_err());
+    }
+
+    #[test]
+    fn retired_ring_is_bounded() {
+        let mut m = Mailbox::new(VirtAddr::new(1), MailboxMode::Steered, 2);
+        for i in 0..5u8 {
+            let _n = post(&mut m, 4, Threshold::bytes(4));
+            m.deliver(key(i as u64), 4, 0, &[i; 4]);
+        }
+        assert_eq!(m.retained_count(), 2);
+        assert_eq!(m.rewind(1).unwrap().data(), &[4; 4]);
+        assert_eq!(m.rewind(2).unwrap().data(), &[3; 4]);
+        let err = m.rewind(3).unwrap_err();
+        assert_eq!(
+            err,
+            RvmaError::EpochNotRetained {
+                requested: 2,
+                oldest_retained: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn managed_mode_appends_at_cursor() {
+        let mut m = mb(MailboxMode::Managed);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        // Offsets are ignored; placement is receiver-assigned.
+        m.deliver(key(1), 4, 999, &[1; 4]);
+        m.deliver(key(2), 4, 0, &[2; 4]);
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn managed_cursor_resets_per_epoch() {
+        let mut m = mb(MailboxMode::Managed);
+        let mut n1 = post(&mut m, 4, Threshold::bytes(4));
+        let mut n2 = post(&mut m, 4, Threshold::bytes(4));
+        m.deliver(key(1), 4, 0, &[1; 4]);
+        m.deliver(key(2), 4, 0, &[2; 4]);
+        assert_eq!(n1.poll().unwrap().data(), &[1; 4]);
+        assert_eq!(n2.poll().unwrap().data(), &[2; 4]);
+    }
+
+    #[test]
+    fn managed_overrun_discards() {
+        let mut m = mb(MailboxMode::Managed);
+        let _n = post(&mut m, 4, Threshold::bytes(4));
+        assert_eq!(
+            m.deliver(key(1), 8, 0, &[1; 8]),
+            DeliveryOutcome::Discarded(NackReason::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn valid_len_clamped_on_overlapping_writes() {
+        // Overlapping writes are allowed (not recommended); the byte counter
+        // can exceed the buffer extent, but valid_len must clamp.
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 4, Threshold::ops(2));
+        m.deliver(key(1), 4, 0, &[1; 4]);
+        m.deliver(key(2), 4, 0, &[2; 4]); // overwrite; bytes counter now 8 > 4
+        let buf = n.poll().unwrap();
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.data(), &[2; 4]);
+    }
+
+    #[test]
+    fn posting_invalid_buffers_fails() {
+        let mut m = mb(MailboxMode::Steered);
+        let slot = NotificationSlot::new();
+        assert_eq!(
+            m.post(PostedBuffer::new(vec![], Threshold::bytes(1), slot.clone())),
+            Err(RvmaError::EmptyBuffer)
+        );
+        assert_eq!(
+            m.post(PostedBuffer::new(vec![0; 4], Threshold::bytes(8), slot)),
+            Err(RvmaError::BufferTooSmall {
+                buffer: 4,
+                threshold: 8
+            })
+        );
+    }
+}

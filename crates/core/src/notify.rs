@@ -1,0 +1,391 @@
+//! Completion pointers: lightweight, per-buffer completion notification.
+//!
+//! The paper's key completion idea (Sec. III-A, IV-C): when a buffer's
+//! threshold is reached, the NIC writes the buffer's head address and length
+//! to a **cache-line-aligned completion pointer** in host memory. Because
+//! each buffer has its *own* known notification address — unlike a shared
+//! completion queue — a thread can wait on exactly the completions it cares
+//! about, using Monitor/MWait-style wake-on-write or plain polling.
+//!
+//! [`NotificationSlot`] is the software analogue. It is `#[repr(align(64))]`
+//! (one cache line), carries a single atomic state word that the "NIC" (the
+//! endpoint delivery path) flips exactly once, and offers:
+//!
+//! * [`Notification::poll`] — the polling idiom,
+//! * [`Notification::wait`] — the Monitor/MWait idiom: a bounded spin on the
+//!   state word (the mwait fast path, wake in ~one cache miss) followed by a
+//!   parked wait (the power-saving path).
+//!
+//! Ownership of the completed buffer transfers through the slot, which is
+//! the Rust-safe rendering of "the pointer to the data buffer is deposited
+//! into the notification address".
+
+use crate::buffer::CompletedBuffer;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const STATE_EMPTY: u8 = 0;
+const STATE_COMPLETE: u8 = 1;
+
+/// Spin iterations before falling back to parking — long enough to catch
+/// completions that are a cache-miss away, short enough not to burn a core.
+const SPIN_LIMIT: u32 = 4096;
+
+/// The shared, cache-line-aligned completion slot written once by the NIC.
+#[repr(align(64))]
+pub struct NotificationSlot {
+    /// `STATE_EMPTY` until the NIC's single completing write.
+    state: AtomicU8,
+    /// The completed buffer "pointer + length", transferred to the waiter.
+    payload: Mutex<Option<CompletedBuffer>>,
+    /// Wakes parked waiters (the Monitor/MWait slow path).
+    condvar: Condvar,
+}
+
+impl NotificationSlot {
+    /// A fresh, un-completed slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(NotificationSlot {
+            state: AtomicU8::new(STATE_EMPTY),
+            payload: Mutex::new(None),
+            condvar: Condvar::new(),
+        })
+    }
+
+    /// The NIC-side completing write. Stores the buffer, flips the state
+    /// word (release), and wakes any parked waiter. Must be called at most
+    /// once per slot; a second call panics in debug builds.
+    pub(crate) fn complete(&self, buf: CompletedBuffer) {
+        {
+            let mut guard = self.payload.lock();
+            debug_assert!(guard.is_none(), "notification slot completed twice");
+            *guard = Some(buf);
+        }
+        let prev = self.state.swap(STATE_COMPLETE, Ordering::Release);
+        debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
+        self.condvar.notify_all();
+    }
+
+    fn is_complete(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_COMPLETE
+    }
+
+    fn take_payload(&self) -> CompletedBuffer {
+        self.payload
+            .lock()
+            .take()
+            .expect("notification payload already taken")
+    }
+}
+
+impl std::fmt::Debug for NotificationSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NotificationSlot")
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+/// The application-side handle to one buffer's completion pointer, returned
+/// by `Window::post_buffer` (paper: the `notification_ptr` out-parameter of
+/// `RVMA_Post_buffer`).
+///
+/// Exactly one of [`poll`](Notification::poll) / [`wait`](Notification::wait)
+/// / [`wait_timeout`](Notification::wait_timeout) consumes the completion;
+/// afterwards [`is_consumed`](Notification::is_consumed) reports `true`.
+#[derive(Debug)]
+pub struct Notification {
+    slot: Arc<NotificationSlot>,
+    consumed: bool,
+}
+
+impl Notification {
+    pub(crate) fn new(slot: Arc<NotificationSlot>) -> Self {
+        Notification {
+            slot,
+            consumed: false,
+        }
+    }
+
+    /// Non-blocking check of the completion pointer (the polling idiom).
+    /// Returns the completed buffer on the first call after completion.
+    pub fn poll(&mut self) -> Option<CompletedBuffer> {
+        if self.consumed || !self.slot.is_complete() {
+            return None;
+        }
+        self.consumed = true;
+        Some(self.slot.take_payload())
+    }
+
+    /// True if the completion fired, without consuming it. This is the raw
+    /// "has the memory location changed" check a Monitor/MWait would arm.
+    pub fn is_complete(&self) -> bool {
+        !self.consumed && self.slot.is_complete()
+    }
+
+    /// True once the completion has been taken via `poll`/`wait`.
+    pub fn is_consumed(&self) -> bool {
+        self.consumed
+    }
+
+    /// Block until the buffer completes (Monitor/MWait idiom: bounded spin,
+    /// then park). Panics if the completion was already consumed.
+    pub fn wait(&mut self) -> CompletedBuffer {
+        assert!(!self.consumed, "notification already consumed");
+        // Fast path: spin on the state word.
+        for _ in 0..SPIN_LIMIT {
+            if self.slot.is_complete() {
+                self.consumed = true;
+                return self.slot.take_payload();
+            }
+            std::hint::spin_loop();
+        }
+        // Slow path: park on the condvar.
+        let mut guard = self.slot.payload.lock();
+        while guard.is_none() {
+            self.slot.condvar.wait(&mut guard);
+        }
+        drop(guard);
+        self.consumed = true;
+        self.slot.take_payload()
+    }
+
+    /// Like [`wait`](Notification::wait) but gives up after `timeout`,
+    /// returning `None` on expiry.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<CompletedBuffer> {
+        assert!(!self.consumed, "notification already consumed");
+        let deadline = std::time::Instant::now() + timeout;
+        for _ in 0..SPIN_LIMIT {
+            if self.slot.is_complete() {
+                self.consumed = true;
+                return Some(self.slot.take_payload());
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.slot.payload.lock();
+        while guard.is_none() {
+            if self
+                .slot
+                .condvar
+                .wait_until(&mut guard, deadline)
+                .timed_out()
+            {
+                return if guard.is_some() {
+                    drop(guard);
+                    self.consumed = true;
+                    Some(self.slot.take_payload())
+                } else {
+                    None
+                };
+            }
+        }
+        drop(guard);
+        self.consumed = true;
+        Some(self.slot.take_payload())
+    }
+}
+
+/// Wait until *any* of the given notifications completes; returns the index
+/// of the winner and its buffer. This is the fine-grained completion story
+/// of paper Sec. IV-C: because every buffer has its own known notification
+/// address, a thread waits on exactly the set it cares about — no shared
+/// completion queue, no stolen events.
+///
+/// Already-consumed notifications are skipped. Returns `None` if every
+/// notification in the slice has been consumed.
+///
+/// # Blocking
+/// Spins across the slots (each check is one atomic load — the multi-slot
+/// analogue of arming Monitor/MWait on several lines), yielding
+/// periodically. Unlike [`Notification::wait`] this cannot park, since any
+/// of N independent writers may fire.
+pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedBuffer)> {
+    if notifications.iter().all(Notification::is_consumed) {
+        return None;
+    }
+    let mut spins = 0u32;
+    loop {
+        for (i, n) in notifications.iter_mut().enumerate() {
+            if let Some(buf) = n.poll() {
+                return Some((i, buf));
+            }
+        }
+        spins += 1;
+        if spins.is_multiple_of(1024) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Collect the completions of *all* given notifications, blocking until
+/// each fires, and returning buffers in slice order. Panics if any
+/// notification was already consumed.
+pub fn wait_all(notifications: &mut [Notification]) -> Vec<CompletedBuffer> {
+    notifications.iter_mut().map(Notification::wait).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VirtAddr;
+
+    fn completed(tag: u8) -> CompletedBuffer {
+        CompletedBuffer::new(vec![tag; 8], 8, 0, VirtAddr::new(tag as u64))
+    }
+
+    #[test]
+    fn slot_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<NotificationSlot>(), 64);
+    }
+
+    #[test]
+    fn poll_before_completion_is_none() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot);
+        assert!(n.poll().is_none());
+        assert!(!n.is_complete());
+        assert!(!n.is_consumed());
+    }
+
+    #[test]
+    fn poll_after_completion_yields_once() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot.clone());
+        slot.complete(completed(3));
+        assert!(n.is_complete());
+        let buf = n.poll().expect("completion visible");
+        assert_eq!(buf.data(), &[3; 8]);
+        assert!(n.is_consumed());
+        assert!(n.poll().is_none(), "second poll must not re-deliver");
+        assert!(!n.is_complete(), "consumed notifications report incomplete");
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_already_complete() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot.clone());
+        slot.complete(completed(9));
+        assert_eq!(n.wait().data(), &[9; 8]);
+    }
+
+    #[test]
+    fn wait_blocks_until_cross_thread_completion() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot.clone());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.complete(completed(5));
+        });
+        let buf = n.wait();
+        assert_eq!(buf.data(), &[5; 8]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot);
+        assert!(n.wait_timeout(Duration::from_millis(10)).is_none());
+        assert!(!n.is_consumed());
+    }
+
+    #[test]
+    fn wait_timeout_succeeds_when_completed() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot.clone());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.complete(completed(7));
+        });
+        let buf = n
+            .wait_timeout(Duration::from_secs(5))
+            .expect("completes within timeout");
+        assert_eq!(buf.epoch(), 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already consumed")]
+    fn wait_after_consume_panics() {
+        let slot = NotificationSlot::new();
+        let mut n = Notification::new(slot.clone());
+        slot.complete(completed(1));
+        let _ = n.poll();
+        let _ = n.wait();
+    }
+
+    #[test]
+    fn wait_any_returns_first_completion() {
+        let slots: Vec<_> = (0..4).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        slots[2].complete(completed(9));
+        let (idx, buf) = wait_any(&mut ns).expect("one completes");
+        assert_eq!(idx, 2);
+        assert_eq!(buf.data(), &[9; 8]);
+        assert!(ns[2].is_consumed());
+        assert!(!ns[0].is_consumed());
+    }
+
+    #[test]
+    fn wait_any_blocks_for_cross_thread_completion() {
+        let slots: Vec<_> = (0..3).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        let slot = slots[1].clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            slot.complete(completed(4));
+        });
+        let (idx, _) = wait_any(&mut ns).expect("completion arrives");
+        assert_eq!(idx, 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_any_all_consumed_is_none() {
+        let slot = NotificationSlot::new();
+        let mut ns = vec![Notification::new(slot.clone())];
+        slot.complete(completed(1));
+        let _ = ns[0].poll();
+        assert!(wait_any(&mut ns).is_none());
+        assert!(wait_any(&mut []).is_none());
+    }
+
+    #[test]
+    fn wait_all_collects_in_order() {
+        let slots: Vec<_> = (0..3).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        // Complete in reverse order; results must still be slice-ordered.
+        for (i, s) in slots.iter().enumerate().rev() {
+            s.complete(completed(i as u8));
+        }
+        let bufs = wait_all(&mut ns);
+        assert_eq!(bufs.len(), 3);
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(b.vaddr().raw(), i as u64);
+        }
+    }
+
+    #[test]
+    fn many_waiters_on_distinct_slots() {
+        // The fine-grained completion story: N threads each wait on their own
+        // slot; completing one wakes exactly that waiter.
+        let slots: Vec<_> = (0..8).map(|_| NotificationSlot::new()).collect();
+        let handles: Vec<_> = slots
+            .iter()
+            .map(|s| {
+                let mut n = Notification::new(s.clone());
+                std::thread::spawn(move || n.wait().vaddr().raw())
+            })
+            .collect();
+        for (i, s) in slots.iter().enumerate() {
+            s.complete(completed(i as u8));
+        }
+        let mut got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, (0..8).collect::<Vec<u64>>());
+    }
+}

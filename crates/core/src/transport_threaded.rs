@@ -1,0 +1,391 @@
+//! Asynchronous in-process transport: a background "wire" thread.
+//!
+//! [`LoopbackNetwork`](crate::transport::LoopbackNetwork) runs the target
+//! NIC datapath inline on the caller's thread — ideal for tests, but the
+//! caller observes its own put's completion synchronously. `AsyncNetwork`
+//! decouples them the way real hardware does:
+//!
+//! * `put` enqueues fragments and **returns immediately**;
+//! * a dedicated wire thread (optionally adding a fixed delivery latency)
+//!   runs the endpoint datapaths, so completion pointers are written from
+//!   *another thread* — the receiver's `Notification::wait` exercises the
+//!   true Monitor/MWait path;
+//! * NACKs become what they are on a real network: asynchronous
+//!   notifications, collected per initiator via
+//!   [`AsyncInitiator::take_nacks`].
+//!
+//! Dropping the network stops the wire thread after draining in-flight
+//! traffic.
+
+use crate::addr::{NodeAddr, VirtAddr};
+use crate::endpoint::{DeliverResult, Fragment, RvmaEndpoint};
+use crate::error::{NackReason, Result, RvmaError};
+use crate::transport::{DeliveryOrder, DEFAULT_MTU};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum WireMsg {
+    Deliver {
+        dest: NodeAddr,
+        frag: Fragment,
+        nacks: Arc<Mutex<Vec<(VirtAddr, NackReason)>>>,
+    },
+    Stop,
+}
+
+struct Shared {
+    endpoints: RwLock<HashMap<NodeAddr, Arc<RvmaEndpoint>>>,
+    mtu: usize,
+    order: DeliveryOrder,
+    rng: Mutex<StdRng>,
+    tx: Sender<WireMsg>,
+}
+
+/// The asynchronous in-process network.
+pub struct AsyncNetwork {
+    shared: Arc<Shared>,
+    wire: Option<JoinHandle<u64>>,
+}
+
+impl AsyncNetwork {
+    /// Build a network whose wire thread adds `latency` before each
+    /// fragment's delivery (pass `Duration::ZERO` for none).
+    pub fn new(mtu: usize, order: DeliveryOrder, latency: Duration) -> AsyncNetwork {
+        assert!(mtu > 0, "MTU must be positive");
+        let seed = match order {
+            DeliveryOrder::OutOfOrder { seed } => seed,
+            DeliveryOrder::InOrder => 0,
+        };
+        let (tx, rx) = unbounded::<WireMsg>();
+        let shared = Arc::new(Shared {
+            endpoints: RwLock::new(HashMap::new()),
+            mtu,
+            order,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            tx,
+        });
+        let wire_shared = shared.clone();
+        let wire = std::thread::Builder::new()
+            .name("rvma-wire".into())
+            .spawn(move || {
+                let mut delivered = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WireMsg::Stop => break,
+                        WireMsg::Deliver { dest, frag, nacks } => {
+                            if !latency.is_zero() {
+                                std::thread::sleep(latency);
+                            }
+                            let ep = wire_shared.endpoints.read().get(&dest).cloned();
+                            match ep {
+                                Some(ep) => {
+                                    if let DeliverResult::Nack(r) = ep.deliver(&frag) {
+                                        nacks.lock().push((frag.dst_vaddr, r));
+                                    }
+                                    delivered += 1;
+                                }
+                                None => nacks
+                                    .lock()
+                                    .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+                            }
+                        }
+                    }
+                }
+                delivered
+            })
+            .expect("spawn wire thread");
+        AsyncNetwork {
+            shared,
+            wire: Some(wire),
+        }
+    }
+
+    /// Default: in-order, default MTU, zero added latency.
+    pub fn default_network() -> AsyncNetwork {
+        AsyncNetwork::new(DEFAULT_MTU, DeliveryOrder::InOrder, Duration::ZERO)
+    }
+
+    /// Create and attach an endpoint at `addr`.
+    pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
+        let ep = RvmaEndpoint::new(addr);
+        self.shared.endpoints.write().insert(addr, ep.clone());
+        ep
+    }
+
+    /// Attach an existing endpoint.
+    pub fn register(&self, endpoint: Arc<RvmaEndpoint>) {
+        self.shared
+            .endpoints
+            .write()
+            .insert(endpoint.addr(), endpoint);
+    }
+
+    /// An asynchronous initiator bound to `src`.
+    pub fn initiator(&self, src: NodeAddr) -> AsyncInitiator {
+        AsyncInitiator {
+            shared: self.shared.clone(),
+            src,
+            next_op: AtomicU64::new(1),
+            nacks: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Block until every fragment submitted so far has been delivered.
+    /// Implemented as a sentinel round trip through the wire queue.
+    pub fn quiesce(&self) {
+        // An empty fragment to a guaranteed-missing endpoint acts as a
+        // barrier: the wire thread processes in FIFO order.
+        let nacks = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Fragment {
+            initiator: NodeAddr::new(u32::MAX, u32::MAX),
+            op_id: 0,
+            dst_vaddr: VirtAddr::new(u64::MAX),
+            op_total_len: 0,
+            offset: 0,
+            data: Bytes::new(),
+        };
+        let _ = self.shared.tx.send(WireMsg::Deliver {
+            dest: NodeAddr::new(u32::MAX, u32::MAX),
+            frag: barrier,
+            nacks: nacks.clone(),
+        });
+        while nacks.lock().is_empty() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for AsyncNetwork {
+    fn drop(&mut self) {
+        let _ = self.shared.tx.send(WireMsg::Stop);
+        if let Some(h) = self.wire.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Asynchronous initiator handle.
+pub struct AsyncInitiator {
+    shared: Arc<Shared>,
+    src: NodeAddr,
+    next_op: AtomicU64,
+    nacks: Arc<Mutex<Vec<(VirtAddr, NackReason)>>>,
+}
+
+impl AsyncInitiator {
+    /// The initiator's source address.
+    pub fn src(&self) -> NodeAddr {
+        self.src
+    }
+
+    /// Asynchronous `RVMA_Put` at offset 0: enqueue and return. Delivery,
+    /// counting, and completion happen on the wire thread.
+    pub fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
+        self.put_at(dest, vaddr, 0, data)
+    }
+
+    /// Asynchronous `RVMA_Put` with an explicit buffer offset.
+    pub fn put_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        if self.shared.endpoints.read().get(&dest).is_none() {
+            return Err(RvmaError::UnknownDestination);
+        }
+        let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let payload = Bytes::copy_from_slice(data);
+        let total = payload.len() as u64;
+        let mtu = self.shared.mtu;
+
+        let mut frags: Vec<Fragment> = if payload.is_empty() {
+            vec![Fragment {
+                initiator: self.src,
+                op_id,
+                dst_vaddr: vaddr,
+                op_total_len: 0,
+                offset,
+                data: payload.clone(),
+            }]
+        } else {
+            (0..payload.len())
+                .step_by(mtu)
+                .map(|start| {
+                    let end = (start + mtu).min(payload.len());
+                    Fragment {
+                        initiator: self.src,
+                        op_id,
+                        dst_vaddr: vaddr,
+                        op_total_len: total,
+                        offset: offset + start,
+                        data: payload.slice(start..end),
+                    }
+                })
+                .collect()
+        };
+        if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
+            frags.shuffle(&mut *self.shared.rng.lock());
+        }
+        for frag in frags {
+            self.shared
+                .tx
+                .send(WireMsg::Deliver {
+                    dest,
+                    frag,
+                    nacks: self.nacks.clone(),
+                })
+                .map_err(|_| RvmaError::UnknownDestination)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the asynchronous NACK notifications received so far.
+    pub fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
+        std::mem::take(&mut *self.nacks.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Threshold;
+
+    #[test]
+    fn async_put_completes_cross_thread() {
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window(VirtAddr::new(5), Threshold::bytes(4096))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 4096]).unwrap();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(5), &[3; 4096])
+            .unwrap();
+        // The caller returned before delivery; wait() parks until the wire
+        // thread's completing write.
+        let buf = note.wait();
+        assert_eq!(buf.data(), vec![3u8; 4096].as_slice());
+    }
+
+    #[test]
+    fn out_of_order_async_delivery_is_correct() {
+        let net = AsyncNetwork::new(64, DeliveryOrder::OutOfOrder { seed: 3 }, Duration::ZERO);
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window(VirtAddr::new(5), Threshold::bytes(1024))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 1024]).unwrap();
+        let payload: Vec<u8> = (0..1024u32).map(|i| (i % 250) as u8).collect();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(5), &payload)
+            .unwrap();
+        assert_eq!(note.wait().data(), payload.as_slice());
+    }
+
+    #[test]
+    fn nacks_arrive_asynchronously() {
+        let net = AsyncNetwork::default_network();
+        let _server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(99), &[0; 8])
+            .unwrap(); // returns Ok: the NACK is asynchronous
+        net.quiesce();
+        let nacks = client.take_nacks();
+        assert_eq!(nacks, vec![(VirtAddr::new(99), NackReason::NoSuchMailbox)]);
+        assert!(client.take_nacks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn unknown_destination_fails_fast() {
+        let net = AsyncNetwork::default_network();
+        let client = net.initiator(NodeAddr::node(2));
+        assert_eq!(
+            client.put(NodeAddr::node(9), VirtAddr::new(1), &[0; 8]),
+            Err(RvmaError::UnknownDestination)
+        );
+    }
+
+    #[test]
+    fn added_latency_delays_completion() {
+        let net = AsyncNetwork::new(
+            DEFAULT_MTU,
+            DeliveryOrder::InOrder,
+            Duration::from_millis(10),
+        );
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window(VirtAddr::new(5), Threshold::ops(1))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 64]).unwrap();
+        let t0 = std::time::Instant::now();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(5), &[1; 64])
+            .unwrap();
+        let submitted = t0.elapsed();
+        let _ = note.wait();
+        let completed = t0.elapsed();
+        assert!(submitted < Duration::from_millis(5), "put must not block");
+        assert!(completed >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn many_async_senders() {
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::ops(64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 64 * 16]).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let init = net.initiator(NodeAddr::node(t + 1));
+                s.spawn(move || {
+                    for k in 0..8usize {
+                        init.put_at(
+                            NodeAddr::node(0),
+                            VirtAddr::new(1),
+                            (t as usize * 8 + k) * 16,
+                            &[t as u8 + 1; 16],
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let buf = note.wait();
+        assert_eq!(buf.len(), 64 * 16);
+        for t in 0..8usize {
+            assert_eq!(buf.full_buffer()[t * 8 * 16], t as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn drop_joins_wire_thread() {
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window(VirtAddr::new(5), Threshold::ops(1))
+            .unwrap();
+        let _note = win.post_buffer(vec![0; 8]).unwrap();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(5), &[1; 8])
+            .unwrap();
+        drop(net); // must not hang
+    }
+}

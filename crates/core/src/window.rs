@@ -1,0 +1,243 @@
+//! Windows: the application-side handle to a mailbox (paper: `RVMA_Win`).
+//!
+//! A window is created by `RvmaEndpoint::init_window` and supports the full
+//! API of paper Sec. III-C: posting buffers (each returning its own
+//! [`Notification`] completion pointer), closing, querying and incrementing
+//! the epoch, batch retrieval of notification handles, and the rewind
+//! extension of Sec. IV-F.
+
+use crate::addr::VirtAddr;
+use crate::buffer::{CompletedBuffer, PostedBuffer, Threshold};
+use crate::endpoint::RvmaEndpoint;
+use crate::error::Result;
+use crate::mailbox::Mailbox;
+use crate::notify::{Notification, NotificationSlot};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Application handle to one RVMA mailbox.
+///
+/// Dropping a `Window` does **not** close the mailbox — posted buffers keep
+/// receiving and completing (their notifications remain live). Call
+/// [`close`](Window::close) for the paper's `RVMA_Close_Win` semantics.
+#[derive(Debug)]
+pub struct Window {
+    endpoint: Arc<RvmaEndpoint>,
+    mailbox: Arc<Mutex<Mailbox>>,
+    vaddr: VirtAddr,
+    threshold: Threshold,
+}
+
+impl Window {
+    pub(crate) fn new(
+        endpoint: Arc<RvmaEndpoint>,
+        mailbox: Arc<Mutex<Mailbox>>,
+        vaddr: VirtAddr,
+        threshold: Threshold,
+    ) -> Self {
+        Window {
+            endpoint,
+            mailbox,
+            vaddr,
+            threshold,
+        }
+    }
+
+    /// The mailbox's virtual address.
+    pub fn vaddr(&self) -> VirtAddr {
+        self.vaddr
+    }
+
+    /// The window's default epoch threshold.
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// The endpoint this window lives on.
+    pub fn endpoint(&self) -> &Arc<RvmaEndpoint> {
+        &self.endpoint
+    }
+
+    /// Post a buffer to the mailbox's bucket with the window's default
+    /// threshold (paper: `RVMA_Post_buffer`). Ownership of `buf` moves to
+    /// the mailbox and returns through the [`Notification`] on completion.
+    pub fn post_buffer(&self, buf: Vec<u8>) -> Result<Notification> {
+        self.post_buffer_with(buf, self.threshold)
+    }
+
+    /// Post a buffer with an explicit per-buffer threshold override.
+    pub fn post_buffer_with(&self, buf: Vec<u8>, threshold: Threshold) -> Result<Notification> {
+        let slot = NotificationSlot::new();
+        self.mailbox
+            .lock()
+            .post(PostedBuffer::new(buf, threshold, slot.clone()))?;
+        Ok(Notification::new(slot))
+    }
+
+    /// Post several buffers at once, returning their notification handles in
+    /// posting order — the batch idiom behind `RVMA_Win_get_buf_ptrs`
+    /// ("system software may want to guarantee that a constant number of
+    /// buffers are always posted").
+    pub fn post_buffers(&self, bufs: Vec<Vec<u8>>) -> Result<Vec<Notification>> {
+        let mut out = Vec::with_capacity(bufs.len());
+        for b in bufs {
+            out.push(self.post_buffer(b)?);
+        }
+        Ok(out)
+    }
+
+    /// Current epoch of the mailbox (paper: `RVMA_Win_get_epoch`).
+    pub fn epoch(&self) -> u64 {
+        self.mailbox.lock().epoch()
+    }
+
+    /// Number of buffers posted and not yet completed.
+    pub fn posted_buffers(&self) -> usize {
+        self.mailbox.lock().posted_buffers()
+    }
+
+    /// Hand the active buffer to software *now*, before its threshold is
+    /// met (paper: `RVMA_Win_inc_epoch`) — stream semantics, unknown
+    /// message sizes, or partial-buffer error recovery.
+    pub fn inc_epoch(&self) -> Result<()> {
+        self.mailbox.lock().inc_epoch()
+    }
+
+    /// Close the window (paper: `RVMA_Close_Win`). Further operations to the
+    /// address are discarded (NACKed per endpoint policy). Returns the
+    /// never-activated queued buffers to the caller. The LUT entry remains
+    /// (reporting `WindowClosed`) until `RvmaEndpoint::evict` reclaims it.
+    pub fn close(&self) -> Vec<Vec<u8>> {
+        self.mailbox.lock().close()
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.mailbox.lock().is_closed()
+    }
+
+    /// Hardware rewind (paper Sec. IV-F): the buffer completed `back`
+    /// epochs ago (`back = 1` is the most recent). Fails if the retired
+    /// ring no longer holds that epoch.
+    pub fn rewind(&self, back: u64) -> Result<CompletedBuffer> {
+        self.mailbox.lock().rewind(back)
+    }
+
+    /// The retired buffer for absolute epoch `epoch`, if still retained.
+    pub fn retired_epoch(&self, epoch: u64) -> Result<CompletedBuffer> {
+        self.mailbox.lock().retired_epoch(epoch)
+    }
+
+    /// Bytes received so far in the currently progressing epoch. Useful for
+    /// diagnostics; the in-progress epoch is otherwise deliberately hidden
+    /// from the application.
+    pub fn bytes_in_progress(&self) -> u64 {
+        self.mailbox.lock().bytes_this_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeAddr;
+    use crate::endpoint::{DeliverResult, Fragment};
+    use bytes::Bytes;
+
+    fn setup() -> (Arc<RvmaEndpoint>, Window) {
+        let ep = RvmaEndpoint::new(NodeAddr::node(1));
+        let win = ep
+            .init_window(VirtAddr::new(0x10), Threshold::bytes(8))
+            .unwrap();
+        (ep, win)
+    }
+
+    fn put(ep: &RvmaEndpoint, op: u64, off: usize, data: &[u8]) -> DeliverResult {
+        ep.deliver(&Fragment {
+            initiator: NodeAddr::node(2),
+            op_id: op,
+            dst_vaddr: VirtAddr::new(0x10),
+            op_total_len: data.len() as u64,
+            offset: off,
+            data: Bytes::copy_from_slice(data),
+        })
+    }
+
+    #[test]
+    fn window_reports_threshold_and_vaddr() {
+        let (_ep, win) = setup();
+        assert_eq!(win.vaddr(), VirtAddr::new(0x10));
+        assert_eq!(win.threshold(), Threshold::bytes(8));
+    }
+
+    #[test]
+    fn post_buffers_batch_returns_in_order() {
+        let (ep, win) = setup();
+        let mut ns = win
+            .post_buffers(vec![vec![0; 8], vec![0; 8], vec![0; 8]])
+            .unwrap();
+        assert_eq!(ns.len(), 3);
+        assert_eq!(win.posted_buffers(), 3);
+        for i in 0..3u8 {
+            put(&ep, i as u64, 0, &[i; 8]);
+        }
+        for (i, n) in ns.iter_mut().enumerate() {
+            assert_eq!(n.poll().unwrap().data(), vec![i as u8; 8].as_slice());
+        }
+        assert_eq!(win.epoch(), 3);
+    }
+
+    #[test]
+    fn per_buffer_threshold_override() {
+        let (ep, win) = setup();
+        let mut n = win.post_buffer_with(vec![0; 8], Threshold::ops(1)).unwrap();
+        put(&ep, 1, 0, &[5; 2]);
+        assert_eq!(n.poll().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn epoch_and_progress_visibility() {
+        let (ep, win) = setup();
+        let _n = win.post_buffer(vec![0; 8]).unwrap();
+        assert_eq!(win.epoch(), 0);
+        put(&ep, 1, 0, &[1; 4]);
+        assert_eq!(win.bytes_in_progress(), 4);
+        put(&ep, 2, 4, &[1; 4]);
+        assert_eq!(win.epoch(), 1);
+        assert_eq!(win.bytes_in_progress(), 0);
+    }
+
+    #[test]
+    fn close_returns_queued_buffers() {
+        let (_ep, win) = setup();
+        let _n1 = win.post_buffer(vec![1; 8]).unwrap();
+        let _n2 = win.post_buffer(vec![2; 8]).unwrap();
+        let bufs = win.close();
+        assert!(win.is_closed());
+        assert_eq!(bufs.len(), 2);
+        assert!(win.post_buffer(vec![0; 8]).is_err());
+    }
+
+    #[test]
+    fn rewind_through_window() {
+        let (ep, win) = setup();
+        let _ns = win.post_buffers(vec![vec![0; 8], vec![0; 8]]).unwrap();
+        put(&ep, 1, 0, &[1; 8]);
+        put(&ep, 2, 0, &[2; 8]);
+        assert_eq!(win.rewind(2).unwrap().data(), &[1; 8]);
+        assert_eq!(win.retired_epoch(1).unwrap().data(), &[2; 8]);
+    }
+
+    #[test]
+    fn dropping_window_keeps_mailbox_receiving() {
+        let (ep, win) = setup();
+        let mut n = win.post_buffer(vec![0; 8]).unwrap();
+        drop(win);
+        assert_eq!(
+            put(&ep, 1, 0, &[3; 8]),
+            DeliverResult::Ok {
+                completed_epoch: true
+            }
+        );
+        assert_eq!(n.poll().unwrap().data(), &[3; 8]);
+    }
+}

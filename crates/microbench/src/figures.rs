@@ -1,0 +1,231 @@
+//! Figure composition: the rows of the paper's Figs. 4–6.
+//!
+//! The paper reports averages over repeated runs (10 runs of 1,000 or
+//! 100,000 iterations) with standard-deviation error bars (Fig. 5). We add
+//! a small multiplicative run-to-run jitter — seeded, reproducible — so the
+//! regenerated tables carry the same mean ± stddev structure.
+
+use crate::model::{CostModel, Routing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Message sizes swept in the latency figures (2 B .. 4 MiB, powers of 4,
+/// matching perftest's default sweep granularity).
+pub fn latency_sizes() -> Vec<u64> {
+    (1..=11).map(|i| 2u64 << (2 * (i - 1))).collect()
+}
+
+/// One row of Fig. 4 / Fig. 5.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyRow {
+    /// Message size, bytes.
+    pub size: u64,
+    /// Mean RDMA latency (spec-compliant adaptive completion), ns.
+    pub rdma_ns: f64,
+    /// RDMA run-to-run standard deviation, ns.
+    pub rdma_sd: f64,
+    /// Mean RVMA latency, ns.
+    pub rvma_ns: f64,
+    /// RVMA run-to-run standard deviation, ns.
+    pub rvma_sd: f64,
+    /// Latency reduction, `1 − rvma/rdma`.
+    pub reduction: f64,
+}
+
+/// Average of `runs` jittered samples of `base` (±`jitter` uniform),
+/// returning (mean, stddev).
+fn sample(base: f64, runs: usize, jitter: f64, rng: &mut StdRng) -> (f64, f64) {
+    let samples: Vec<f64> = (0..runs)
+        .map(|_| base * (1.0 + rng.random_range(-jitter..jitter)))
+        .collect();
+    let mean = samples.iter().sum::<f64>() / runs as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / runs as f64;
+    (mean, var.sqrt())
+}
+
+/// Regenerate a latency figure (Fig. 4 with the Verbs model, Fig. 5 with
+/// the UCX model): RVMA vs. spec-compliant RDMA on an adaptively-routed
+/// network, averaged over `runs` jittered runs.
+pub fn latency_figure(model: &CostModel, runs: usize, seed: u64) -> Vec<LatencyRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    latency_sizes()
+        .into_iter()
+        .map(|size| {
+            let (rdma_ns, rdma_sd) = sample(
+                model.rdma_put(size, Routing::Adaptive).as_ns_f64(),
+                runs,
+                0.02,
+                &mut rng,
+            );
+            let (rvma_ns, rvma_sd) = sample(model.rvma_put(size).as_ns_f64(), runs, 0.02, &mut rng);
+            LatencyRow {
+                size,
+                rdma_ns,
+                rdma_sd,
+                rvma_ns,
+                rvma_sd,
+                reduction: (rdma_ns - rvma_ns) / rdma_ns,
+            }
+        })
+        .collect()
+}
+
+/// One row of the static-routing comparison (the paper's side claim that
+/// "RVMA provides performance comparable to current statically-routed RDMA
+/// latency regardless of network routing").
+#[derive(Debug, Clone, Copy)]
+pub struct StaticRow {
+    /// Message size, bytes.
+    pub size: u64,
+    /// RDMA with last-byte polling on a statically-routed network, ns.
+    pub rdma_static_ns: f64,
+    /// RVMA (any routing), ns.
+    pub rvma_ns: f64,
+    /// RVMA overhead relative to the static-RDMA best case
+    /// (`rvma/rdma − 1`; small positive = "comparable").
+    pub overhead: f64,
+}
+
+/// Regenerate the static-routing comparison: RVMA vs. the last-byte-poll
+/// RDMA best case. No jitter — this is the deterministic model output.
+pub fn static_comparison(model: &CostModel) -> Vec<StaticRow> {
+    latency_sizes()
+        .into_iter()
+        .map(|size| {
+            let rdma = model.rdma_put(size, Routing::Static).as_ns_f64();
+            let rvma = model.rvma_put(size).as_ns_f64();
+            StaticRow {
+                size,
+                rdma_static_ns: rdma,
+                rvma_ns: rvma,
+                overhead: rvma / rdma - 1.0,
+            }
+        })
+        .collect()
+}
+
+/// One row of Fig. 6 (setup-amortization analysis).
+#[derive(Debug, Clone, Copy)]
+pub struct AmortizationRow {
+    /// Message size, bytes.
+    pub size: u64,
+    /// Exchanges needed to amortize setup within tolerance, static routing.
+    pub exchanges_static: u64,
+    /// Same, adaptive routing (per-op latency includes the fence).
+    pub exchanges_adaptive: u64,
+}
+
+/// Regenerate Fig. 6: exchanges needed to amortize RDMA buffer setup to
+/// within `tolerance` (the paper uses its latency-test margin of error,
+/// 3 %).
+pub fn amortization_figure(model: &CostModel, tolerance: f64) -> Vec<AmortizationRow> {
+    latency_sizes()
+        .into_iter()
+        .map(|size| AmortizationRow {
+            size,
+            exchanges_static: model.amortization_exchanges(size, Routing::Static, tolerance),
+            exchanges_adaptive: model.amortization_exchanges(size, Routing::Adaptive, tolerance),
+        })
+        .collect()
+}
+
+/// The headline numbers of Sec. V-A: peak latency reduction per platform.
+pub fn peak_reduction(model: &CostModel) -> f64 {
+    latency_sizes()
+        .into_iter()
+        .map(|s| model.reduction(s, Routing::Adaptive))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{ucx_connectx5, verbs_omnipath};
+
+    #[test]
+    fn sizes_span_2b_to_4mb() {
+        let s = latency_sizes();
+        assert_eq!(*s.first().unwrap(), 2);
+        assert_eq!(*s.last().unwrap(), 2 << 20);
+        assert!(s.windows(2).all(|w| w[1] == w[0] * 4));
+    }
+
+    #[test]
+    fn latency_rows_monotone_in_size() {
+        let rows = latency_figure(&verbs_omnipath(), 10, 1);
+        for w in rows.windows(2) {
+            assert!(w[1].rvma_ns > w[0].rvma_ns * 0.95);
+        }
+    }
+
+    #[test]
+    fn reduction_decays_with_size() {
+        let rows = latency_figure(&verbs_omnipath(), 10, 1);
+        assert!(rows.first().unwrap().reduction > 0.6);
+        assert!(rows.last().unwrap().reduction < 0.05);
+    }
+
+    #[test]
+    fn jitter_is_reproducible() {
+        let a = latency_figure(&ucx_connectx5(), 10, 9);
+        let b = latency_figure(&ucx_connectx5(), 10, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rdma_ns, y.rdma_ns);
+            assert_eq!(x.rvma_sd, y.rvma_sd);
+        }
+    }
+
+    #[test]
+    fn stddev_is_small_but_nonzero() {
+        let rows = latency_figure(&ucx_connectx5(), 10, 2);
+        for r in rows {
+            assert!(r.rdma_sd > 0.0);
+            assert!(r.rdma_sd < 0.05 * r.rdma_ns);
+        }
+    }
+
+    #[test]
+    fn amortization_rows_decrease() {
+        let rows = amortization_figure(&ucx_connectx5(), 0.03);
+        assert!(rows.first().unwrap().exchanges_static > rows.last().unwrap().exchanges_static);
+        for r in &rows {
+            assert!(r.exchanges_adaptive <= r.exchanges_static);
+            assert!(r.exchanges_static >= 1);
+        }
+    }
+
+    #[test]
+    fn small_message_amortization_needs_many_exchanges() {
+        // The paper: "a large number of exchanges are needed to amortize
+        // away setup costs".
+        let rows = amortization_figure(&ucx_connectx5(), 0.03);
+        assert!(
+            rows[0].exchanges_static > 30,
+            "got {}",
+            rows[0].exchanges_static
+        );
+    }
+
+    #[test]
+    fn static_rdma_and_rvma_are_comparable() {
+        // Paper: RVMA ~ statically-routed RDMA, regardless of routing.
+        for m in [verbs_omnipath(), ucx_connectx5()] {
+            for row in static_comparison(&m) {
+                assert!(
+                    row.overhead.abs() < 0.02,
+                    "{} @{}B: overhead {:.3}",
+                    m.name,
+                    row.size,
+                    row.overhead
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_reductions_match_paper() {
+        assert!((peak_reduction(&verbs_omnipath()) - 0.658).abs() < 0.01);
+        assert!((peak_reduction(&ucx_connectx5()) - 0.458).abs() < 0.01);
+    }
+}

@@ -1,0 +1,26 @@
+//! # rvma-microbench — calibrated microbenchmark models (Figs. 4–6)
+//!
+//! The paper's first evaluation arm times RDMA primitives on real
+//! InfiniBand hardware and derives RVMA's numbers by *removing* the
+//! operations RVMA renders unnecessary (the completion send/recv on
+//! adaptively-routed networks; the buffer-setup exchange). This crate
+//! reproduces that arithmetic over a calibrated alpha–beta cost model:
+//!
+//! * [`CostModel`] — primitive costs and the op-sequence compositions,
+//! * [`platforms`] — the two calibrated platforms (Verbs/OmniPath and
+//!   UCX/ConnectX-5, matching the paper's testbeds),
+//! * [`figures`] — row generators for Fig. 4 (Verbs latency), Fig. 5 (UCX
+//!   latency, with run-to-run stddev), and Fig. 6 (setup amortization).
+//!
+//! See DESIGN.md for why this substitution preserves the figures' shape.
+
+pub mod figures;
+pub mod model;
+pub mod platforms;
+
+pub use figures::{
+    amortization_figure, latency_figure, latency_sizes, peak_reduction, static_comparison,
+    AmortizationRow, LatencyRow, StaticRow,
+};
+pub use model::{CostModel, Routing};
+pub use platforms::{ucx_connectx5, verbs_omnipath};

@@ -1,0 +1,188 @@
+//! Primitive-cost model for RDMA/RVMA operations on real hardware.
+//!
+//! The paper's Figs. 4–6 are built by timing RDMA primitives on real
+//! InfiniBand systems and *composing op sequences*: the RVMA numbers come
+//! from removing the operations RVMA makes unnecessary (the completion
+//! send/recv, the buffer-setup exchange), not from RVMA silicon. We
+//! reproduce the same arithmetic over an alpha–beta cost model:
+//!
+//! * a put of `s` bytes costs `alpha + s / bandwidth`,
+//! * the spec-compliant completion on adaptively-routed networks appends a
+//!   1-byte send/recv fence costing `fence_overhead`,
+//! * sharing an RDMA buffer costs `setup = registration + address
+//!   exchange (RTT)` once per buffer.
+
+use rvma_sim::{Bandwidth, SimTime};
+
+/// Routing regime of the network under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Routing {
+    /// Statically routed: byte-level ordering holds; RDMA may poll the last
+    /// byte of the buffer for completion.
+    Static,
+    /// Adaptively routed: no ordering; spec-compliant RDMA needs a trailing
+    /// send/recv per put.
+    Adaptive,
+}
+
+impl std::fmt::Display for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Routing::Static => "static",
+            Routing::Adaptive => "adaptive",
+        })
+    }
+}
+
+/// Calibrated primitive costs of one platform (NIC + CPU + fabric).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Per-operation base latency of an RDMA write (first byte in to
+    /// completion-capable at the target), independent of size.
+    pub alpha: SimTime,
+    /// Link bandwidth (serialization term).
+    pub bandwidth: Bandwidth,
+    /// Extra latency of the completion send/recv + CQ processing appended
+    /// to each put on adaptively-routed networks.
+    pub fence_overhead: SimTime,
+    /// Host memory-registration cost per shared buffer.
+    pub registration: SimTime,
+    /// One-way small-message latency (address exchange legs).
+    pub small_msg: SimTime,
+    /// Completion-pointer write cost on an RVMA NIC (host-bus posted write
+    /// pipelined behind the final data DMA).
+    pub rvma_completion: SimTime,
+}
+
+impl CostModel {
+    /// Latency until the *target* can safely use an RVMA put of `size`
+    /// bytes: wire + completion-pointer visibility. Identical on static and
+    /// adaptive networks — the threshold count is order-independent.
+    pub fn rvma_put(&self, size: u64) -> SimTime {
+        self.alpha + self.bandwidth.serialization_time(size) + self.rvma_completion
+    }
+
+    /// Latency until the target can safely use an RDMA put of `size` bytes.
+    pub fn rdma_put(&self, size: u64, routing: Routing) -> SimTime {
+        let wire = self.alpha + self.bandwidth.serialization_time(size);
+        match routing {
+            // Last-byte polling: data visibility is completion.
+            Routing::Static => wire,
+            // Spec-compliant: the put is complete only after the trailing
+            // send/recv is observed.
+            Routing::Adaptive => wire + self.fence_overhead,
+        }
+    }
+
+    /// One-time cost of sharing an RDMA buffer: pin + register, then
+    /// exchange address/length (request + response legs).
+    pub fn rdma_setup(&self) -> SimTime {
+        self.registration + self.small_msg * 2
+    }
+
+    /// Latency reduction (fraction of RDMA latency saved by RVMA) at `size`
+    /// under `routing`, ignoring setup amortization.
+    pub fn reduction(&self, size: u64, routing: Routing) -> f64 {
+        let rdma = self.rdma_put(size, routing).as_ns_f64();
+        let rvma = self.rvma_put(size).as_ns_f64();
+        (rdma - rvma) / rdma
+    }
+
+    /// Fig. 6: number of data exchanges needed before RDMA's buffer setup
+    /// cost is amortized to within `tolerance` (e.g. 0.03 = 3 %) of the
+    /// per-exchange latency.
+    ///
+    /// After `n` exchanges the per-exchange overhead is `setup / n`;
+    /// amortized when `setup / n <= tolerance * latency(size)`.
+    pub fn amortization_exchanges(&self, size: u64, routing: Routing, tolerance: f64) -> u64 {
+        assert!(tolerance > 0.0);
+        let setup = self.rdma_setup().as_ns_f64();
+        let per_op = self.rdma_put(size, routing).as_ns_f64();
+        (setup / (tolerance * per_op)).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel {
+            name: "test",
+            alpha: SimTime::from_ns(1000),
+            bandwidth: Bandwidth::from_gbps(100),
+            fence_overhead: SimTime::from_ns(1500),
+            registration: SimTime::from_us(2),
+            small_msg: SimTime::from_ns(1000),
+            rvma_completion: SimTime::from_ns(0),
+        }
+    }
+
+    #[test]
+    fn rvma_put_is_alpha_beta() {
+        let m = model();
+        // 12500 bytes at 100 Gbps = 1000 ns of serialization.
+        assert_eq!(m.rvma_put(12_500), SimTime::from_ns(2000));
+    }
+
+    #[test]
+    fn rdma_static_equals_wire() {
+        let m = model();
+        assert_eq!(m.rdma_put(12_500, Routing::Static), SimTime::from_ns(2000));
+    }
+
+    #[test]
+    fn rdma_adaptive_adds_fence() {
+        let m = model();
+        assert_eq!(
+            m.rdma_put(12_500, Routing::Adaptive),
+            SimTime::from_ns(3500)
+        );
+    }
+
+    #[test]
+    fn reduction_shrinks_with_size() {
+        let m = model();
+        let small = m.reduction(2, Routing::Adaptive);
+        let large = m.reduction(4 << 20, Routing::Adaptive);
+        assert!(small > large);
+        assert!(small > 0.5, "small-message reduction {small}");
+        assert!(large < 0.05, "large-message reduction {large}");
+    }
+
+    #[test]
+    fn reduction_on_static_is_nonpositive_or_zero() {
+        // Statically routed RDMA with last-byte polling matches RVMA (no
+        // fence); RVMA's completion write costs ~nothing in this model.
+        let m = model();
+        assert!(m.reduction(4096, Routing::Static).abs() < 1e-9);
+    }
+
+    #[test]
+    fn setup_is_registration_plus_rtt() {
+        let m = model();
+        assert_eq!(m.rdma_setup(), SimTime::from_ns(4000));
+    }
+
+    #[test]
+    fn amortization_decreases_with_size() {
+        let m = model();
+        let n_small = m.amortization_exchanges(8, Routing::Static, 0.03);
+        let n_large = m.amortization_exchanges(1 << 20, Routing::Static, 0.03);
+        assert!(n_small > n_large);
+        // 8B: per-op ~1000 ns; 4000/(0.03*1000) = 134.
+        assert_eq!(n_small, 134);
+    }
+
+    #[test]
+    fn amortization_fewer_exchanges_on_adaptive() {
+        // Adaptive per-op latency is larger (fence), so the same setup is
+        // relatively smaller: fewer exchanges to amortize.
+        let m = model();
+        let s = m.amortization_exchanges(8, Routing::Static, 0.03);
+        let a = m.amortization_exchanges(8, Routing::Adaptive, 0.03);
+        assert!(a < s);
+    }
+}

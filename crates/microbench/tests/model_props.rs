@@ -1,0 +1,78 @@
+//! Property tests over the microbenchmark cost models: structural facts
+//! that must hold for any calibration, not just the shipped constants.
+
+use proptest::prelude::*;
+use rvma_microbench::{CostModel, Routing};
+use rvma_sim::{Bandwidth, SimTime};
+
+prop_compose! {
+    fn model_strategy()(
+        alpha_ns in 100u64..5_000,
+        gbps in 10u64..2_000,
+        fence_ns in 100u64..5_000,
+        reg_us in 1u64..10,
+        small_ns in 100u64..3_000,
+        compl_ns in 0u64..100,
+    ) -> CostModel {
+        CostModel {
+            name: "prop",
+            alpha: SimTime::from_ns(alpha_ns),
+            bandwidth: Bandwidth::from_gbps(gbps),
+            fence_overhead: SimTime::from_ns(fence_ns),
+            registration: SimTime::from_us(reg_us),
+            small_msg: SimTime::from_ns(small_ns),
+            rvma_completion: SimTime::from_ns(compl_ns),
+        }
+    }
+}
+
+proptest! {
+    /// On adaptive networks RVMA is never slower than spec-compliant RDMA,
+    /// for any calibration (the fence is pure overhead; the completion
+    /// write never exceeds it in any plausible regime we generate).
+    #[test]
+    fn rvma_dominates_adaptive_rdma(m in model_strategy(), size in 1u64..(8 << 20)) {
+        prop_assume!(m.rvma_completion < m.fence_overhead);
+        prop_assert!(m.rvma_put(size) < m.rdma_put(size, Routing::Adaptive));
+    }
+
+    /// Latency is monotone non-decreasing in message size.
+    #[test]
+    fn latency_monotone_in_size(m in model_strategy(), size in 1u64..(4 << 20)) {
+        prop_assert!(m.rvma_put(size + 4096) >= m.rvma_put(size));
+        prop_assert!(
+            m.rdma_put(size + 4096, Routing::Adaptive) >= m.rdma_put(size, Routing::Adaptive)
+        );
+    }
+
+    /// Reduction is in (0, 1) on adaptive networks and decays with size.
+    #[test]
+    fn reduction_bounded_and_decaying(m in model_strategy()) {
+        prop_assume!(m.rvma_completion < m.fence_overhead);
+        let small = m.reduction(2, Routing::Adaptive);
+        let large = m.reduction(8 << 20, Routing::Adaptive);
+        prop_assert!(small > 0.0 && small < 1.0);
+        prop_assert!(large > 0.0 && large < 1.0);
+        prop_assert!(small >= large);
+    }
+
+    /// Amortization count is monotone in tolerance: a looser margin never
+    /// needs more exchanges.
+    #[test]
+    fn amortization_monotone_in_tolerance(
+        m in model_strategy(),
+        size in 1u64..(1 << 20),
+    ) {
+        let tight = m.amortization_exchanges(size, Routing::Static, 0.01);
+        let loose = m.amortization_exchanges(size, Routing::Static, 0.10);
+        prop_assert!(loose <= tight);
+        prop_assert!(loose >= 1);
+    }
+
+    /// Setup cost is routing-independent and strictly positive.
+    #[test]
+    fn setup_positive(m in model_strategy()) {
+        prop_assert!(m.rdma_setup() > SimTime::ZERO);
+        prop_assert!(m.rdma_setup() >= m.registration);
+    }
+}

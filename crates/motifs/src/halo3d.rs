@@ -1,0 +1,259 @@
+//! Halo3D motif: 3-D nearest-neighbour face exchange (paper Fig. 8).
+//!
+//! Every node owns an `nx × ny × nz` cell block inside a `px × py × pz`
+//! node grid (non-periodic). Per iteration each node sends its six faces to
+//! the corresponding neighbours, waits for the neighbours' faces, then
+//! computes. Face sizes follow the geometry (`x` faces carry `ny·nz`
+//! elements, etc.), so the motif is bandwidth-sensitive — which is why
+//! topology matters more here than in Sweep3D, exactly as the paper
+//! observes.
+
+use crate::runner::MOTIF_DONE_HIST;
+use rvma_nic::{HostLogic, RecvInfo, TermApi};
+use rvma_sim::SimTime;
+
+/// Halo3D workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Halo3dConfig {
+    /// Node grid (px, py, pz); node count must equal the product.
+    pub pgrid: [u32; 3],
+    /// Cells per node (nx, ny, nz).
+    pub cells: [u32; 3],
+    /// Bytes per cell element (8 for doubles).
+    pub elem_bytes: u32,
+    /// Iterations to run.
+    pub iters: u32,
+    /// Host compute time per iteration.
+    pub compute: SimTime,
+}
+
+impl Default for Halo3dConfig {
+    fn default() -> Self {
+        Halo3dConfig {
+            pgrid: [4, 4, 4],
+            cells: [64, 64, 64],
+            elem_bytes: 8,
+            iters: 10,
+            compute: SimTime::from_us(10),
+        }
+    }
+}
+
+impl Halo3dConfig {
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        self.pgrid.iter().product()
+    }
+
+    /// Node id → grid coordinates.
+    pub fn coords(&self, node: u32) -> [u32; 3] {
+        let [px, py, _] = self.pgrid;
+        [node % px, (node / px) % py, node / (px * py)]
+    }
+
+    /// Grid coordinates → node id.
+    pub fn node_at(&self, c: [u32; 3]) -> u32 {
+        let [px, py, _] = self.pgrid;
+        c[0] + px * (c[1] + py * c[2])
+    }
+
+    /// Face payload bytes for an exchange along `dim`.
+    pub fn face_bytes(&self, dim: usize) -> u64 {
+        let [nx, ny, nz] = self.cells;
+        let cells = match dim {
+            0 => ny as u64 * nz as u64,
+            1 => nx as u64 * nz as u64,
+            _ => nx as u64 * ny as u64,
+        };
+        cells * self.elem_bytes as u64
+    }
+
+    /// Neighbours of `node`: `(direction index 0..6, neighbour id)` where
+    /// direction `2·dim + (0 = plus, 1 = minus)`.
+    pub fn neighbors(&self, node: u32) -> Vec<(usize, u32)> {
+        let c = self.coords(node);
+        let mut out = Vec::with_capacity(6);
+        for dim in 0..3 {
+            if c[dim] + 1 < self.pgrid[dim] {
+                let mut n = c;
+                n[dim] += 1;
+                out.push((2 * dim, self.node_at(n)));
+            }
+            if c[dim] > 0 {
+                let mut n = c;
+                n[dim] -= 1;
+                out.push((2 * dim + 1, self.node_at(n)));
+            }
+        }
+        out
+    }
+
+    /// Total messages the whole job sends (for test cross-checks).
+    pub fn total_messages(&self) -> u64 {
+        let links: u64 = (0..self.nodes())
+            .map(|n| self.neighbors(n).len() as u64)
+            .sum();
+        links * self.iters as u64
+    }
+}
+
+/// Direction index seen by the *receiver* of a face sent along `dir`.
+fn opposite(dir: usize) -> usize {
+    dir ^ 1
+}
+
+#[derive(Debug, PartialEq)]
+enum State {
+    WaitingFaces,
+    Computing,
+    Done,
+}
+
+/// Per-node Halo3D behaviour.
+pub struct Halo3dNode {
+    cfg: Halo3dConfig,
+    node: u32,
+    /// `(my direction to them, neighbor id)` pairs.
+    neighbors: Vec<(usize, u32)>,
+    /// Messages received so far per incoming direction (monotonic).
+    recvd: [u64; 6],
+    iter: u32,
+    state: State,
+}
+
+impl Halo3dNode {
+    /// Behaviour for `node` under `cfg`.
+    pub fn new(cfg: Halo3dConfig, node: u32) -> Self {
+        let neighbors = cfg.neighbors(node);
+        Halo3dNode {
+            cfg,
+            node,
+            neighbors,
+            recvd: [0; 6],
+            iter: 0,
+            state: State::WaitingFaces,
+        }
+    }
+
+    fn send_faces(&mut self, api: &mut TermApi<'_, '_>) {
+        for &(dir, peer) in &self.neighbors {
+            // Tag with the direction as the *receiver* sees it, so the tag
+            // doubles as the receiver's slot index and, for RDMA, the
+            // channel/buffer identity (stable across iterations).
+            api.send(peer, opposite(dir) as u64, self.cfg.face_bytes(dir / 2));
+        }
+    }
+
+    /// All neighbours' faces for the current iteration arrived?
+    fn faces_ready(&self) -> bool {
+        self.neighbors
+            .iter()
+            .all(|&(dir, _)| self.recvd[dir] > self.iter as u64)
+    }
+
+    fn try_advance(&mut self, api: &mut TermApi<'_, '_>) {
+        if self.state == State::WaitingFaces && self.faces_ready() {
+            self.state = State::Computing;
+            api.compute(self.cfg.compute, 0);
+        }
+    }
+}
+
+impl HostLogic for Halo3dNode {
+    fn on_start(&mut self, api: &mut TermApi<'_, '_>) {
+        self.send_faces(api);
+        self.try_advance(api);
+    }
+
+    fn on_recv(&mut self, msg: RecvInfo, api: &mut TermApi<'_, '_>) {
+        let dir = msg.tag as usize;
+        debug_assert!(dir < 6, "unexpected tag {}", msg.tag);
+        self.recvd[dir] += 1;
+        self.try_advance(api);
+    }
+
+    fn on_compute_done(&mut self, _tag: u64, api: &mut TermApi<'_, '_>) {
+        debug_assert_eq!(self.state, State::Computing);
+        self.iter += 1;
+        if self.iter >= self.cfg.iters {
+            self.state = State::Done;
+            let now = api.now();
+            api.record_time(MOTIF_DONE_HIST, now);
+            api.count("motif.nodes_done");
+            let _ = self.node;
+            return;
+        }
+        self.send_faces(api);
+        self.state = State::WaitingFaces;
+        self.try_advance(api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Halo3dConfig {
+        Halo3dConfig {
+            pgrid: [3, 2, 2],
+            cells: [16, 8, 4],
+            elem_bytes: 8,
+            iters: 2,
+            compute: SimTime::from_us(1),
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let c = cfg();
+        for n in 0..c.nodes() {
+            assert_eq!(c.node_at(c.coords(n)), n);
+        }
+    }
+
+    #[test]
+    fn face_bytes_follow_geometry() {
+        let c = cfg();
+        assert_eq!(c.face_bytes(0), 8 * 4 * 8); // ny*nz
+        assert_eq!(c.face_bytes(1), 16 * 4 * 8); // nx*nz
+        assert_eq!(c.face_bytes(2), 16 * 8 * 8); // nx*ny
+    }
+
+    #[test]
+    fn corner_and_interior_neighbor_counts() {
+        let c = cfg();
+        // Corner (0,0,0): +x, +y, +z = 3 neighbors.
+        assert_eq!(c.neighbors(0).len(), 3);
+        // Middle of x-row (1,0,0): ±x, +y, +z = 4.
+        assert_eq!(c.neighbors(1).len(), 4);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let c = cfg();
+        for n in 0..c.nodes() {
+            for (dir, peer) in c.neighbors(n) {
+                let back = c.neighbors(peer);
+                assert!(
+                    back.iter().any(|&(d, p)| p == n && d == opposite(dir)),
+                    "asymmetric neighbor {n}->{peer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_flips_low_bit() {
+        assert_eq!(opposite(0), 1);
+        assert_eq!(opposite(1), 0);
+        assert_eq!(opposite(4), 5);
+    }
+
+    #[test]
+    fn total_messages_counts_directed_links() {
+        let c = cfg();
+        // 3x2x2 grid: x-links 2*2*2=8, y-links 3*1*2=6, z-links 3*2*1=6;
+        // directed = 2*(8+6+6) = 40 per iteration, 2 iterations.
+        assert_eq!(c.total_messages(), 80);
+    }
+}

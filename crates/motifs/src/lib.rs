@@ -1,0 +1,25 @@
+//! # rvma-motifs — application communication motifs
+//!
+//! Ember-style motifs driving the simulated cluster, used to regenerate the
+//! paper's Figs. 7–8:
+//!
+//! * [`Sweep3dNode`] — KBA wavefront sweeps (latency-bound; Fig. 7),
+//! * [`Halo3dNode`] — 3-D nearest-neighbour halo exchange (bandwidth-bound;
+//!   Fig. 8),
+//! * [`run_motif`] / [`compare_protocols`] — the harness that assembles a
+//!   cluster, runs a motif to quiescence, and reports makespans and
+//!   protocol-event counts.
+
+pub mod allreduce;
+pub mod halo3d;
+pub mod incast;
+pub mod replay;
+pub mod runner;
+pub mod sweep3d;
+
+pub use allreduce::{AllReduceConfig, AllReduceNode};
+pub use halo3d::{Halo3dConfig, Halo3dNode};
+pub use incast::{IncastConfig, IncastNode, INCAST_TAG};
+pub use replay::{ReplayNode, Trace, TraceOp};
+pub use runner::{compare_protocols, run_motif, IdleNode, MotifResult, MOTIF_DONE_HIST};
+pub use sweep3d::{Sweep3dConfig, Sweep3dNode};

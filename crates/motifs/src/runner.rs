@@ -1,0 +1,119 @@
+//! Motif execution harness: assemble a cluster, run, and summarize.
+
+use rvma_net::fabric::{FabricConfig, TopologySpec};
+use rvma_net::packet::NetEvent;
+use rvma_nic::{build_cluster, HostLogic, NicConfig, Protocol};
+use rvma_sim::{Engine, SimTime};
+
+/// Histogram name motif nodes record their finish time into.
+pub const MOTIF_DONE_HIST: &str = "motif.node_done_ns";
+
+/// Summary of one motif run.
+#[derive(Debug, Clone)]
+pub struct MotifResult {
+    /// Topology name.
+    pub topology: String,
+    /// Protocol used.
+    pub protocol: Protocol,
+    /// Time at which the last node finished its motif work.
+    pub makespan: SimTime,
+    /// Simulated instant the network fully quiesced (includes trailing
+    /// control traffic such as final RTRs).
+    pub quiesce: SimTime,
+    /// Nodes that reported completion.
+    pub nodes_done: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Packets injected.
+    pub packets: u64,
+    /// RDMA registration handshakes.
+    pub handshakes: u64,
+    /// RDMA fences sent.
+    pub fences: u64,
+    /// RDMA RTR credits sent.
+    pub rtrs: u64,
+    /// Total events fired.
+    pub events: u64,
+}
+
+impl MotifResult {
+    /// Makespan in microseconds (convenience for reports).
+    pub fn makespan_us(&self) -> f64 {
+        self.makespan.as_us_f64()
+    }
+}
+
+/// Run a motif on `spec` with per-node behaviour from `logic`, and collect
+/// the summary. Panics if any node fails to finish (deadlock in the motif
+/// or protocol model).
+pub fn run_motif(
+    spec: &TopologySpec,
+    fcfg: &FabricConfig,
+    ncfg: NicConfig,
+    protocol: Protocol,
+    seed: u64,
+    logic: impl FnMut(u32) -> Box<dyn HostLogic>,
+) -> MotifResult {
+    let mut engine: Engine<NetEvent> = Engine::new(seed);
+    let cluster = build_cluster(&mut engine, spec, fcfg, ncfg, protocol, logic);
+    let nodes = cluster.nodes() as u64;
+    let events = engine.run_to_completion();
+
+    let nodes_done = engine.stats().counter_value("motif.nodes_done");
+    assert_eq!(
+        nodes_done, nodes,
+        "{} of {} nodes finished — motif deadlocked on {} / {}",
+        nodes_done, nodes, spec.name, protocol
+    );
+    let makespan = engine
+        .stats()
+        .get_histogram(MOTIF_DONE_HIST)
+        .and_then(|h| h.max())
+        .map(SimTime::from_ns_f64)
+        .unwrap_or(SimTime::ZERO);
+
+    MotifResult {
+        topology: spec.name.clone(),
+        protocol,
+        makespan,
+        quiesce: engine.now(),
+        nodes_done,
+        msgs_sent: engine.stats().counter_value("nic.msgs_sent"),
+        packets: engine.stats().counter_value("nic.packets_injected"),
+        handshakes: engine.stats().counter_value("nic.handshakes"),
+        fences: engine.stats().counter_value("nic.fences_sent"),
+        rtrs: engine.stats().counter_value("nic.rtrs_sent"),
+        events,
+    }
+}
+
+/// A node that participates in no communication: it reports completion at
+/// t = 0. Used to pad topologies whose terminal count exceeds the motif's
+/// process grid (the spare terminals the paper's node allocations also
+/// leave idle).
+pub struct IdleNode;
+
+impl HostLogic for IdleNode {
+    fn on_start(&mut self, api: &mut rvma_nic::TermApi<'_, '_>) {
+        let now = api.now();
+        api.record_time(MOTIF_DONE_HIST, now);
+        api.count("motif.nodes_done");
+    }
+    fn on_recv(&mut self, _msg: rvma_nic::RecvInfo, _api: &mut rvma_nic::TermApi<'_, '_>) {}
+}
+
+/// Run the same motif under both protocols and report the RDMA/RVMA
+/// makespan ratio (speedup > 1 means RVMA is faster) — the quantity the
+/// paper's Figs. 7–8 plot.
+pub fn compare_protocols(
+    spec: &TopologySpec,
+    fcfg: &FabricConfig,
+    ncfg: NicConfig,
+    seed: u64,
+    mut logic: impl FnMut(u32) -> Box<dyn HostLogic>,
+) -> (MotifResult, MotifResult, f64) {
+    let rdma = run_motif(spec, fcfg, ncfg, Protocol::Rdma, seed, &mut logic);
+    let rvma = run_motif(spec, fcfg, ncfg, Protocol::Rvma, seed, &mut logic);
+    let speedup = rdma.makespan.as_ns_f64() / rvma.makespan.as_ns_f64();
+    (rdma, rvma, speedup)
+}

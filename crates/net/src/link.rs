@@ -1,0 +1,39 @@
+//! Link parameters: bandwidth + propagation latency.
+
+use rvma_sim::{Bandwidth, SimTime};
+
+/// A point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Link bandwidth (serialization rate).
+    pub bandwidth: Bandwidth,
+    /// Propagation latency (cable + SerDes).
+    pub latency: SimTime,
+}
+
+impl LinkParams {
+    /// Construct from a gigabit rate and nanosecond latency.
+    pub fn gbps_ns(gbps: u64, latency_ns: u64) -> Self {
+        LinkParams {
+            bandwidth: Bandwidth::from_gbps(gbps),
+            latency: SimTime::from_ns(latency_ns),
+        }
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialize(&self, bytes: u32) -> SimTime {
+        self.bandwidth.serialization_time(bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_uses_bandwidth() {
+        let l = LinkParams::gbps_ns(100, 50);
+        assert_eq!(l.serialize(1250), SimTime::from_ns(100));
+        assert_eq!(l.latency, SimTime::from_ns(50));
+    }
+}

@@ -1,0 +1,48 @@
+//! The routing interface: how a switch chooses an output port.
+//!
+//! Each topology module provides two [`Router`] implementations: a *static*
+//! (deterministic-path, hence in-order) one and an *adaptive* one that picks
+//! among candidate ports by instantaneous output-queue depth. Adaptive
+//! routing is what breaks packet ordering — the property RDMA completion
+//! relies on and RVMA does not.
+
+use crate::packet::Packet;
+use crate::switch::PortView;
+use rvma_sim::SimRng;
+
+/// Route-selection policy (paper Figs. 7–8 compare both per topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingKind {
+    /// Deterministic paths; per-flow in-order delivery.
+    Static,
+    /// Load-adaptive paths; packets may arrive out of order.
+    Adaptive,
+}
+
+impl std::fmt::Display for RoutingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutingKind::Static => "static",
+            RoutingKind::Adaptive => "adaptive",
+        })
+    }
+}
+
+/// A routing algorithm for one concrete topology instance.
+///
+/// `route` is called at every switch a packet traverses, *except* when the
+/// packet's destination terminal is attached to the current switch (the
+/// switch delivers those directly). It may mutate the packet's
+/// [`RouteState`](crate::packet::RouteState) (e.g. to pin a Valiant
+/// intermediate group).
+pub trait Router: Send + Sync {
+    /// Pick the output port index at switch `sw` for `pkt`.
+    fn route(&self, sw: u32, pkt: &mut Packet, view: &PortView<'_>, rng: &mut SimRng) -> usize;
+
+    /// True when paths are deterministic per (src, dst) — i.e. the network
+    /// delivers each flow in order.
+    fn ordered(&self) -> bool;
+
+    /// Human-readable algorithm name (for reports).
+    fn name(&self) -> &'static str;
+}

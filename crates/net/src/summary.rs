@@ -1,0 +1,146 @@
+//! Topology summaries: structural metrics of a [`TopologySpec`].
+//!
+//! Useful for sanity-checking generated instances (radix, diameter,
+//! bisection estimates) and for the `topo_report` binary that documents
+//! the fabrics each figure ran on.
+
+use crate::fabric::TopologySpec;
+use std::collections::VecDeque;
+
+/// Structural metrics of one topology instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySummary {
+    /// Topology name.
+    pub name: String,
+    /// Terminal count.
+    pub terminals: u32,
+    /// Switch count.
+    pub switches: u32,
+    /// Unidirectional inter-switch link count.
+    pub links: u64,
+    /// Minimum switch radix (terminal + switch ports).
+    pub min_radix: usize,
+    /// Maximum switch radix.
+    pub max_radix: usize,
+    /// Graph diameter in switch hops (BFS over the switch graph).
+    pub diameter: u32,
+    /// Mean shortest-path length between switches.
+    pub mean_distance: f64,
+}
+
+/// Compute a [`TopologySummary`] (BFS from every switch; fine for the
+/// instance sizes the benches use).
+pub fn summarize(spec: &TopologySpec) -> TopologySummary {
+    let n = spec.switches as usize;
+    let mut links = 0u64;
+    let mut min_radix = usize::MAX;
+    let mut max_radix = 0usize;
+    for s in 0..n {
+        let radix = spec.switch_terms[s].1 as usize + spec.switch_links[s].len();
+        min_radix = min_radix.min(radix);
+        max_radix = max_radix.max(radix);
+        links += spec.switch_links[s].len() as u64;
+    }
+
+    let mut diameter = 0u32;
+    let mut dist_sum = 0u64;
+    let mut pairs = 0u64;
+    let mut dist = vec![u32::MAX; n];
+    for start in 0..n {
+        dist.fill(u32::MAX);
+        dist[start] = 0;
+        let mut q = VecDeque::from([start]);
+        while let Some(u) = q.pop_front() {
+            for &v in &spec.switch_links[u] {
+                let v = v as usize;
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        for (v, &d) in dist.iter().enumerate() {
+            assert_ne!(d, u32::MAX, "switch graph disconnected at {start}->{v}");
+            if v != start {
+                diameter = diameter.max(d);
+                dist_sum += d as u64;
+                pairs += 1;
+            }
+        }
+    }
+
+    TopologySummary {
+        name: spec.name.clone(),
+        terminals: spec.terminals,
+        switches: spec.switches,
+        links,
+        min_radix,
+        max_radix,
+        diameter,
+        mean_distance: if pairs == 0 {
+            0.0
+        } else {
+            dist_sum as f64 / pairs as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RoutingKind;
+    use crate::topology::{
+        dragonfly, fattree, hyperx, star, torus3d, DragonflyParams, FatTreeParams, HyperXParams,
+        TorusParams,
+    };
+
+    #[test]
+    fn star_summary() {
+        let s = summarize(&star(8, RoutingKind::Static));
+        assert_eq!(s.switches, 1);
+        assert_eq!(s.links, 0);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.min_radix, 8);
+    }
+
+    #[test]
+    fn torus_diameter() {
+        let s = summarize(&torus3d(
+            TorusParams {
+                dims: [4, 4, 4],
+                tps: 1,
+            },
+            RoutingKind::Static,
+        ));
+        assert_eq!(s.diameter, 6); // 2+2+2 with wraparound
+        assert_eq!(s.min_radix, 7); // 1 terminal + 6 links
+        assert_eq!(s.links, 64 * 6);
+    }
+
+    #[test]
+    fn hyperx_diameter_two() {
+        let s = summarize(&hyperx(
+            HyperXParams { d: [4, 4], tps: 2 },
+            RoutingKind::Static,
+        ));
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.min_radix, 2 + 3 + 3);
+    }
+
+    #[test]
+    fn fattree_diameter_four() {
+        let s = summarize(&fattree(FatTreeParams { k: 4 }, RoutingKind::Static));
+        assert_eq!(s.diameter, 4); // edge-agg-core-agg-edge
+        assert_eq!(s.max_radix, 4);
+    }
+
+    #[test]
+    fn dragonfly_diameter_three() {
+        let s = summarize(&dragonfly(
+            DragonflyParams { a: 4, p: 2, h: 2 },
+            RoutingKind::Static,
+        ));
+        assert_eq!(s.diameter, 3); // local-global-local
+        assert!(s.mean_distance > 1.0 && s.mean_distance < 3.0);
+    }
+}

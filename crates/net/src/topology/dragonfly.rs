@@ -1,0 +1,327 @@
+//! Dragonfly(a, p, h) with minimal (static) and UGAL-style adaptive routing.
+//!
+//! Standard balanced dragonfly: groups of `a` switches, each switch with
+//! `p` terminals and `h` global links; `g = a·h + 1` groups so that every
+//! pair of groups shares exactly one global link. Switches within a group
+//! are fully connected.
+//!
+//! Canonical port order per switch `(G, i)`: terminals `[0, p)`, local links
+//! to switches `j ≠ i` in increasing `j` (`a − 1` ports), then `h` global
+//! ports. Global channel `c = i·h + k` of group `G` connects to group
+//! `D = (G + c + 1) mod g`; the far end is channel `c' = (G − D − 1) mod g`
+//! of group `D`, i.e. switch `c'/h`, global port `c' mod h`.
+//!
+//! * **Minimal** routing: at most local→global→local (3 switch-hops).
+//! * **Adaptive (UGAL-L)**: at the source switch, compare the backlog of
+//!   the minimal first hop against a Valiant detour through a random
+//!   intermediate group (weighted 1:2 for the doubled path length); commit
+//!   to one. This is the scheme that makes dragonflies deliver packets out
+//!   of order — the case the paper's 4.4× Sweep3D headline targets.
+
+use crate::fabric::TopologySpec;
+use crate::packet::Packet;
+use crate::router::{Router, RoutingKind};
+use crate::switch::PortView;
+use rvma_sim::{SimRng, SimTime};
+use std::sync::Arc;
+
+/// Dragonfly shape.
+#[derive(Debug, Clone, Copy)]
+pub struct DragonflyParams {
+    /// Switches per group.
+    pub a: u32,
+    /// Terminals per switch.
+    pub p: u32,
+    /// Global links per switch.
+    pub h: u32,
+}
+
+impl DragonflyParams {
+    /// Number of groups: `a·h + 1` (balanced, single link per group pair).
+    pub fn groups(&self) -> u32 {
+        self.a * self.h + 1
+    }
+
+    /// Total switches.
+    pub fn switches(&self) -> u32 {
+        self.groups() * self.a
+    }
+
+    /// Total terminals.
+    pub fn terminals(&self) -> u32 {
+        self.switches() * self.p
+    }
+
+    fn group_of_switch(&self, s: u32) -> u32 {
+        s / self.a
+    }
+
+    fn index_in_group(&self, s: u32) -> u32 {
+        s % self.a
+    }
+
+    /// The global channel index (within the source group) of the single
+    /// link from group `g_from` to `g_to`.
+    fn channel_to(&self, g_from: u32, g_to: u32) -> u32 {
+        debug_assert_ne!(g_from, g_to);
+        let g = self.groups();
+        (g_to + g - g_from - 1) % g
+    }
+
+    /// `(switch index in group, global port k)` owning channel `c`.
+    fn channel_owner(&self, c: u32) -> (u32, u32) {
+        (c / self.h, c % self.h)
+    }
+}
+
+/// UGAL bias toward the minimal path (added to the weighted Valiant queue
+/// estimate), in nanoseconds of backlog.
+const UGAL_MIN_BIAS: SimTime = SimTime::from_ns(50);
+
+struct DragonflyRouter {
+    p: DragonflyParams,
+    kind: RoutingKind,
+}
+
+impl DragonflyRouter {
+    fn local_port(&self, i: u32, j: u32) -> usize {
+        debug_assert_ne!(i, j);
+        self.p.p as usize + if j < i { j } else { j - 1 } as usize
+    }
+
+    fn global_port(&self, k: u32) -> usize {
+        (self.p.p + self.p.a - 1 + k) as usize
+    }
+
+    /// First-hop port from switch `(cur_g, i)` toward group `target_g`.
+    fn port_toward_group(&self, cur_g: u32, i: u32, target_g: u32) -> usize {
+        let c = self.p.channel_to(cur_g, target_g);
+        let (owner, k) = self.p.channel_owner(c);
+        if owner == i {
+            self.global_port(k)
+        } else {
+            self.local_port(i, owner)
+        }
+    }
+
+    /// Minimal next port toward destination terminal `dst`.
+    fn minimal(&self, sw: u32, dst: u32) -> usize {
+        let cur_g = self.p.group_of_switch(sw);
+        let i = self.p.index_in_group(sw);
+        let dst_sw = dst / self.p.p;
+        let dst_g = self.p.group_of_switch(dst_sw);
+        if cur_g == dst_g {
+            self.local_port(i, self.p.index_in_group(dst_sw))
+        } else {
+            self.port_toward_group(cur_g, i, dst_g)
+        }
+    }
+}
+
+impl Router for DragonflyRouter {
+    fn route(&self, sw: u32, pkt: &mut Packet, view: &PortView<'_>, rng: &mut SimRng) -> usize {
+        if self.kind == RoutingKind::Static {
+            return self.minimal(sw, pkt.dst);
+        }
+
+        let cur_g = self.p.group_of_switch(sw);
+        let i = self.p.index_in_group(sw);
+        let dst_g = self.p.group_of_switch(pkt.dst / self.p.p);
+
+        // Arrived at the Valiant intermediate (or already in the
+        // destination group): from here on, minimal.
+        if let Some(via) = pkt.route.via {
+            if cur_g == via || cur_g == dst_g {
+                pkt.route.via_reached = true;
+            }
+        }
+        if pkt.route.via_reached || pkt.route.via.is_none() && pkt.route.hops > 0 {
+            return self.minimal(sw, pkt.dst);
+        }
+        if let Some(via) = pkt.route.via {
+            // Still traveling toward the intermediate group.
+            return self.port_toward_group(cur_g, i, via);
+        }
+
+        // Source switch: UGAL-L decision.
+        if cur_g == dst_g {
+            pkt.route.via_reached = true;
+            return self.minimal(sw, pkt.dst);
+        }
+        let g = self.p.groups();
+        // Pick a random intermediate group distinct from source and dest.
+        let mut via = rng.below(g as u64 - 2) as u32;
+        for taken in [cur_g.min(dst_g), cur_g.max(dst_g)] {
+            if via >= taken {
+                via += 1;
+            }
+        }
+        let min_port = self.minimal(sw, pkt.dst);
+        let val_port = self.port_toward_group(cur_g, i, via);
+        // UGAL-L: weighted queue comparison (minimal path ~half the hops).
+        let q_min = view.busy(min_port);
+        let q_val = view.busy(val_port);
+        if q_min <= q_val * 2 + UGAL_MIN_BIAS {
+            pkt.route.via_reached = true;
+            min_port
+        } else {
+            pkt.route.via = Some(via);
+            val_port
+        }
+    }
+
+    fn ordered(&self) -> bool {
+        self.kind == RoutingKind::Static
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            RoutingKind::Static => "dragonfly-minimal",
+            RoutingKind::Adaptive => "dragonfly-ugal",
+        }
+    }
+}
+
+/// Build a balanced dragonfly spec.
+///
+/// # Panics
+/// Panics if `a < 2`, `p < 1`, or `h < 1`.
+pub fn dragonfly(params: DragonflyParams, kind: RoutingKind) -> TopologySpec {
+    assert!(params.a >= 2, "need at least 2 switches per group");
+    assert!(params.p >= 1 && params.h >= 1, "p and h must be positive");
+    let g = params.groups();
+    let switches = params.switches();
+
+    let mut switch_terms = Vec::with_capacity(switches as usize);
+    let mut switch_links = Vec::with_capacity(switches as usize);
+    for s in 0..switches {
+        switch_terms.push((s * params.p, params.p));
+        let grp = params.group_of_switch(s);
+        let i = params.index_in_group(s);
+        let mut links = Vec::with_capacity((params.a - 1 + params.h) as usize);
+        // Local all-to-all.
+        for j in 0..params.a {
+            if j != i {
+                links.push(grp * params.a + j);
+            }
+        }
+        // Global channels owned by this switch.
+        for k in 0..params.h {
+            let c = i * params.h + k;
+            let dest_g = (grp + c + 1) % g;
+            let back = params.channel_to(dest_g, grp);
+            let (owner, _k2) = params.channel_owner(back);
+            links.push(dest_g * params.a + owner);
+        }
+        switch_links.push(links);
+    }
+
+    TopologySpec {
+        name: format!(
+            "dragonfly(a={},p={},h={},g={},{})",
+            params.a, params.p, params.h, g, kind
+        ),
+        terminals: params.terminals(),
+        switches,
+        switch_terms,
+        switch_links,
+        router: Arc::new(DragonflyRouter { p: params, kind }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::testutil::{check_all_pairs, trace_path};
+
+    fn params() -> DragonflyParams {
+        DragonflyParams { a: 4, p: 2, h: 2 }
+    }
+
+    #[test]
+    fn group_count_is_balanced() {
+        assert_eq!(params().groups(), 9);
+        assert_eq!(params().switches(), 36);
+        assert_eq!(params().terminals(), 72);
+    }
+
+    #[test]
+    fn spec_validates() {
+        dragonfly(params(), RoutingKind::Static).validate().unwrap();
+        dragonfly(params(), RoutingKind::Adaptive)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn channel_mapping_is_involutive() {
+        let p = params();
+        let g = p.groups();
+        for g1 in 0..g {
+            for g2 in 0..g {
+                if g1 != g2 {
+                    let c = p.channel_to(g1, g2);
+                    assert!(c < p.a * p.h);
+                    // Forward then backward returns to g1.
+                    let back = p.channel_to(g2, g1);
+                    assert!(back < p.a * p.h);
+                    // Each pair uses exactly one channel per side:
+                    assert_eq!((g1 + c + 1) % g, g2);
+                    assert_eq!((g2 + back + 1) % g, g1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_paths_within_three_hops() {
+        let s = dragonfly(params(), RoutingKind::Static);
+        let max = check_all_pairs(&s, 5);
+        assert!(max <= 3, "minimal dragonfly exceeded l-g-l: {max}");
+    }
+
+    #[test]
+    fn adaptive_paths_terminate_within_valiant_bound() {
+        let s = dragonfly(params(), RoutingKind::Adaptive);
+        // Valiant worst case: l-g-l to intermediate + l-g-l to dest = 6.
+        let max = check_all_pairs(&s, 5);
+        assert!(max <= 6, "UGAL exceeded Valiant bound: {max}");
+    }
+
+    #[test]
+    fn intra_group_is_one_local_hop() {
+        let s = dragonfly(params(), RoutingKind::Static);
+        // Terminals 0 (switch 0) and 3 (switch 1), both group 0.
+        let path = trace_path(&s, 0, 3, 1);
+        assert_eq!(path, vec![0, 1]);
+    }
+
+    #[test]
+    fn inter_group_minimal_is_lgl() {
+        let s = dragonfly(params(), RoutingKind::Static);
+        let p = params();
+        // Check several cross-group pairs take <= 3 switch hops and cross
+        // exactly one global link (group changes exactly once).
+        for (src, dst) in [(0u32, 70u32), (5, 40), (10, 60)] {
+            let path = trace_path(&s, src, dst, 1);
+            let groups: Vec<u32> = path.iter().map(|&sw| p.group_of_switch(sw)).collect();
+            let changes = groups.windows(2).filter(|w| w[0] != w[1]).count();
+            assert_eq!(changes, 1, "path {path:?} crossed {changes} globals");
+        }
+    }
+
+    #[test]
+    fn ugal_idle_network_prefers_minimal() {
+        // On an idle network every queue is 0, so q_min <= 2*q_val + bias
+        // always holds: adaptive routing must follow minimal paths.
+        let s = dragonfly(params(), RoutingKind::Adaptive);
+        let max = check_all_pairs(&s, 7);
+        assert!(max <= 3, "idle UGAL should be minimal, got {max}");
+    }
+
+    #[test]
+    fn ordering_flags() {
+        assert!(dragonfly(params(), RoutingKind::Static).router.ordered());
+        assert!(!dragonfly(params(), RoutingKind::Adaptive).router.ordered());
+    }
+}

@@ -1,0 +1,257 @@
+//! 3-level k-ary fat-tree (Clos) with d-mod-k static and adaptive
+//! up-routing.
+//!
+//! For even `k`: `k` pods; each pod has `k/2` edge and `k/2` aggregation
+//! switches; `(k/2)²` core switches; `k³/4` terminals (hosts), `k/2` per
+//! edge switch.
+//!
+//! Up-routing (edge→agg, agg→core) chooses among `k/2` equivalent ports:
+//! statically by a destination-hash (d-mod-k, deterministic per
+//! destination, hence per-flow ordered) or adaptively by queue depth.
+//! Down-routing is always deterministic (a fat-tree has a unique down path).
+//!
+//! Canonical port order: edge = `[terminals, aggs-in-pod]`; agg =
+//! `[edges-in-pod, cores]`; core = `[agg-per-pod for each pod]`.
+
+use crate::fabric::TopologySpec;
+use crate::packet::Packet;
+use crate::router::{Router, RoutingKind};
+use crate::switch::PortView;
+use rvma_sim::SimRng;
+use std::sync::Arc;
+
+/// Fat-tree shape.
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeParams {
+    /// Switch radix; must be even and ≥ 2. Terminals = k³/4.
+    pub k: u32,
+}
+
+impl FatTreeParams {
+    fn h(&self) -> u32 {
+        self.k / 2
+    }
+
+    fn edges(&self) -> u32 {
+        self.k * self.h()
+    }
+
+    fn terminals(&self) -> u32 {
+        self.k * self.k * self.k / 4
+    }
+
+    fn pod_of_terminal(&self, t: u32) -> u32 {
+        t / (self.h() * self.h())
+    }
+
+    fn edge_index_of_terminal(&self, t: u32) -> u32 {
+        (t / self.h()) % self.h()
+    }
+}
+
+struct FatTreeRouter {
+    p: FatTreeParams,
+    kind: RoutingKind,
+}
+
+enum Role {
+    Edge,
+    Agg { pod: u32 },
+    Core,
+}
+
+impl FatTreeRouter {
+    fn role(&self, sw: u32) -> Role {
+        let e = self.p.edges();
+        if sw < e {
+            Role::Edge
+        } else if sw < 2 * e {
+            Role::Agg {
+                pod: (sw - e) / self.p.h(),
+            }
+        } else {
+            Role::Core
+        }
+    }
+}
+
+impl Router for FatTreeRouter {
+    fn route(&self, sw: u32, pkt: &mut Packet, view: &PortView<'_>, _rng: &mut SimRng) -> usize {
+        let h = self.p.h() as usize;
+        let dst = pkt.dst;
+        match self.role(sw) {
+            Role::Edge => {
+                // Up to an agg (local terminals are delivered by the switch).
+                match self.kind {
+                    // d-mod-k: spread flows by destination terminal.
+                    RoutingKind::Static => h + (dst as usize % h),
+                    RoutingKind::Adaptive => view.least_busy(h..2 * h).expect("edge has up ports"),
+                }
+            }
+            Role::Agg { pod } => {
+                if self.p.pod_of_terminal(dst) == pod {
+                    // Down to the destination edge.
+                    self.p.edge_index_of_terminal(dst) as usize
+                } else {
+                    // Up to a core.
+                    match self.kind {
+                        RoutingKind::Static => h + ((dst as usize / h) % h),
+                        RoutingKind::Adaptive => {
+                            view.least_busy(h..2 * h).expect("agg has up ports")
+                        }
+                    }
+                }
+            }
+            // Down to the destination pod (unique path).
+            Role::Core => self.p.pod_of_terminal(dst) as usize,
+        }
+    }
+
+    fn ordered(&self) -> bool {
+        self.kind == RoutingKind::Static
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            RoutingKind::Static => "fattree-dmodk",
+            RoutingKind::Adaptive => "fattree-adaptive",
+        }
+    }
+}
+
+/// Build a 3-level k-ary fat-tree spec.
+///
+/// # Panics
+/// Panics if `k` is odd or < 2.
+pub fn fattree(params: FatTreeParams, kind: RoutingKind) -> TopologySpec {
+    let k = params.k;
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree k must be even and >= 2"
+    );
+    let h = params.h();
+    let edges = params.edges(); // == aggs
+    let cores = h * h;
+    let switches = 2 * edges + cores;
+    let agg0 = edges;
+    let core0 = 2 * edges;
+
+    let mut switch_terms = vec![(0u32, 0u32); switches as usize];
+    let mut switch_links = vec![Vec::new(); switches as usize];
+
+    for pod in 0..k {
+        for i in 0..h {
+            let e = pod * h + i;
+            switch_terms[e as usize] = (e * h, h);
+            // Edge links: up to every agg in the pod.
+            switch_links[e as usize] = (0..h).map(|j| agg0 + pod * h + j).collect();
+        }
+        for j in 0..h {
+            let a = agg0 + pod * h + j;
+            // Agg links: down to every edge in the pod, then up to cores
+            // j*h .. j*h+h.
+            let mut links: Vec<u32> = (0..h).map(|i| pod * h + i).collect();
+            links.extend((0..h).map(|m| core0 + j * h + m));
+            switch_links[a as usize] = links;
+        }
+    }
+    for c in 0..cores {
+        let j = c / h;
+        // Core links: to agg j of every pod, pod order = port order.
+        switch_links[(core0 + c) as usize] = (0..k).map(|pod| agg0 + pod * h + j).collect();
+    }
+
+    TopologySpec {
+        name: format!("fattree(k={k},{kind})"),
+        terminals: params.terminals(),
+        switches,
+        switch_terms,
+        switch_links,
+        router: Arc::new(FatTreeRouter { p: params, kind }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::testutil::{check_all_pairs, trace_path};
+
+    fn params() -> FatTreeParams {
+        FatTreeParams { k: 4 }
+    }
+
+    #[test]
+    fn spec_validates() {
+        fattree(params(), RoutingKind::Static).validate().unwrap();
+        fattree(params(), RoutingKind::Adaptive).validate().unwrap();
+    }
+
+    #[test]
+    fn counts() {
+        let s = fattree(params(), RoutingKind::Static);
+        assert_eq!(s.terminals, 16);
+        assert_eq!(s.switches, 8 + 8 + 4);
+    }
+
+    #[test]
+    fn larger_tree_validates() {
+        fattree(FatTreeParams { k: 8 }, RoutingKind::Static)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn paths_within_diameter() {
+        for kind in [RoutingKind::Static, RoutingKind::Adaptive] {
+            let s = fattree(params(), kind);
+            // Max switch path: edge-agg-core-agg-edge = 4 hops.
+            let max = check_all_pairs(&s, 1);
+            assert!(max <= 4, "{}: exceeded fat-tree diameter: {max}", s.name);
+        }
+    }
+
+    #[test]
+    fn same_pod_stays_in_pod() {
+        let s = fattree(params(), RoutingKind::Static);
+        // Terminals 0 (edge 0) and 2 (edge 1), both pod 0.
+        let path = trace_path(&s, 0, 2, 1);
+        assert_eq!(path.len(), 3); // edge0 -> agg -> edge1
+        for &sw in &path {
+            assert!(sw < 16, "stayed below core level");
+        }
+    }
+
+    #[test]
+    fn same_edge_is_zero_switch_hops() {
+        let s = fattree(params(), RoutingKind::Static);
+        let path = trace_path(&s, 0, 1, 1);
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn cross_pod_goes_through_core() {
+        let s = fattree(params(), RoutingKind::Static);
+        // Terminal 0 (pod 0) to terminal 15 (pod 3).
+        let path = trace_path(&s, 0, 15, 1);
+        assert_eq!(path.len(), 5);
+        assert!(path[2] >= 16, "middle hop is a core switch");
+    }
+
+    #[test]
+    fn static_paths_are_deterministic() {
+        let s = fattree(params(), RoutingKind::Static);
+        assert_eq!(trace_path(&s, 0, 15, 1), trace_path(&s, 0, 15, 999));
+    }
+
+    #[test]
+    fn ordering_flags() {
+        assert!(fattree(params(), RoutingKind::Static).router.ordered());
+        assert!(!fattree(params(), RoutingKind::Adaptive).router.ordered());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        fattree(FatTreeParams { k: 3 }, RoutingKind::Static);
+    }
+}

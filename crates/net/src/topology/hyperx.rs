@@ -1,0 +1,186 @@
+//! 2-D HyperX (flattened butterfly): all-to-all links in each dimension.
+//!
+//! Switches form a `d0 × d1` grid where every switch connects directly to
+//! every other switch sharing a row or column. Canonical port order after
+//! the terminal ports: dim-0 neighbors (increasing x, skipping self), then
+//! dim-1 neighbors (increasing y, skipping self).
+//!
+//! The paper's Fig. 8 headline case is "HyperX Dimension Order Routing";
+//! the adaptive variant picks the least-loaded productive dimension.
+
+use crate::fabric::TopologySpec;
+use crate::packet::Packet;
+use crate::router::{Router, RoutingKind};
+use crate::switch::PortView;
+use rvma_sim::SimRng;
+use std::sync::Arc;
+
+/// HyperX shape.
+#[derive(Debug, Clone, Copy)]
+pub struct HyperXParams {
+    /// Switches per dimension; each must be ≥ 2.
+    pub d: [u32; 2],
+    /// Terminals per switch.
+    pub tps: u32,
+}
+
+impl HyperXParams {
+    fn coords(&self, s: u32) -> [u32; 2] {
+        [s % self.d[0], s / self.d[0]]
+    }
+
+    fn switch_at(&self, c: [u32; 2]) -> u32 {
+        c[0] + self.d[0] * c[1]
+    }
+}
+
+struct HyperXRouter {
+    params: HyperXParams,
+    kind: RoutingKind,
+}
+
+impl HyperXRouter {
+    /// Port toward coordinate `target` in `dim`, from a switch at `cur`.
+    fn port(&self, dim: usize, cur: u32, target: u32) -> usize {
+        debug_assert_ne!(cur, target);
+        let base = self.params.tps as usize
+            + if dim == 0 {
+                0
+            } else {
+                self.params.d[0] as usize - 1
+            };
+        let idx = if target < cur { target } else { target - 1 } as usize;
+        base + idx
+    }
+}
+
+impl Router for HyperXRouter {
+    fn route(&self, sw: u32, pkt: &mut Packet, view: &PortView<'_>, _rng: &mut SimRng) -> usize {
+        let dst_sw = pkt.dst / self.params.tps;
+        let cur = self.params.coords(sw);
+        let dst = self.params.coords(dst_sw);
+        debug_assert_ne!(sw, dst_sw);
+        match self.kind {
+            RoutingKind::Static => {
+                // Dimension order: fix dim 0, then dim 1 (one hop each).
+                if cur[0] != dst[0] {
+                    self.port(0, cur[0], dst[0])
+                } else {
+                    self.port(1, cur[1], dst[1])
+                }
+            }
+            RoutingKind::Adaptive => {
+                let candidates = (0..2)
+                    .filter(|&dim| cur[dim] != dst[dim])
+                    .map(|dim| self.port(dim, cur[dim], dst[dim]));
+                view.least_busy(candidates)
+                    .expect("at least one productive dimension")
+            }
+        }
+    }
+
+    fn ordered(&self) -> bool {
+        self.kind == RoutingKind::Static
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            RoutingKind::Static => "hyperx-dor",
+            RoutingKind::Adaptive => "hyperx-adaptive",
+        }
+    }
+}
+
+/// Build a 2-D HyperX spec.
+///
+/// # Panics
+/// Panics if a dimension is < 2 or `tps` is 0.
+pub fn hyperx(params: HyperXParams, kind: RoutingKind) -> TopologySpec {
+    assert!(params.d.iter().all(|&d| d >= 2), "hyperx dims must be >= 2");
+    assert!(params.tps >= 1, "need at least one terminal per switch");
+    let switches = params.d[0] * params.d[1];
+    let mut switch_terms = Vec::with_capacity(switches as usize);
+    let mut switch_links = Vec::with_capacity(switches as usize);
+    for s in 0..switches {
+        switch_terms.push((s * params.tps, params.tps));
+        let c = params.coords(s);
+        let mut links = Vec::new();
+        for x in 0..params.d[0] {
+            if x != c[0] {
+                links.push(params.switch_at([x, c[1]]));
+            }
+        }
+        for y in 0..params.d[1] {
+            if y != c[1] {
+                links.push(params.switch_at([c[0], y]));
+            }
+        }
+        switch_links.push(links);
+    }
+    TopologySpec {
+        name: format!(
+            "hyperx({}x{},tps={},{})",
+            params.d[0], params.d[1], params.tps, kind
+        ),
+        terminals: switches * params.tps,
+        switches,
+        switch_terms,
+        switch_links,
+        router: Arc::new(HyperXRouter { params, kind }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::testutil::{check_all_pairs, trace_path};
+
+    fn params() -> HyperXParams {
+        HyperXParams { d: [4, 3], tps: 2 }
+    }
+
+    #[test]
+    fn spec_validates() {
+        hyperx(params(), RoutingKind::Static).validate().unwrap();
+        hyperx(params(), RoutingKind::Adaptive).validate().unwrap();
+    }
+
+    #[test]
+    fn counts_and_degree() {
+        let s = hyperx(params(), RoutingKind::Static);
+        assert_eq!(s.switches, 12);
+        assert_eq!(s.terminals, 24);
+        // Degree: (d0-1) + (d1-1) = 3 + 2 = 5.
+        assert!(s.switch_links.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn diameter_is_two_hops() {
+        for kind in [RoutingKind::Static, RoutingKind::Adaptive] {
+            let s = hyperx(params(), kind);
+            let max = check_all_pairs(&s, 3);
+            assert!(max <= 2, "{}: path exceeded 2 hops: {max}", s.name);
+        }
+    }
+
+    #[test]
+    fn dor_goes_x_then_y() {
+        let s = hyperx(params(), RoutingKind::Static);
+        // From switch (0,0)=0 to switch (3,2)=11: via (3,0)=3.
+        let path = trace_path(&s, 0, 11 * 2, 1);
+        assert_eq!(path, vec![0, 3, 11]);
+    }
+
+    #[test]
+    fn same_row_is_single_hop() {
+        let s = hyperx(params(), RoutingKind::Static);
+        let path = trace_path(&s, 0, 3 * 2, 1); // (0,0) -> (3,0)
+        assert_eq!(path, vec![0, 3]);
+    }
+
+    #[test]
+    fn ordering_flags() {
+        assert!(hyperx(params(), RoutingKind::Static).router.ordered());
+        assert!(!hyperx(params(), RoutingKind::Adaptive).router.ordered());
+    }
+}

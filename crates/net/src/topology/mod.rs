@@ -1,0 +1,109 @@
+//! Topology constructors.
+//!
+//! Each module builds a [`TopologySpec`](crate::fabric::TopologySpec) for
+//! one topology family, in a static (deterministic, in-order) and an
+//! adaptive (load-balanced, out-of-order) routing variant — the axes of the
+//! paper's Figs. 7 and 8:
+//!
+//! * [`mod@fattree`] — 3-level k-ary fat-tree (d-mod-k static up-routing vs.
+//!   least-loaded adaptive up-routing),
+//! * [`mod@torus`] — 3-D torus (dimension-order routing vs. minimal-adaptive),
+//! * [`mod@dragonfly`] — dragonfly(a, p, h) (minimal vs. UGAL-style adaptive
+//!   with Valiant detours),
+//! * [`mod@hyperx`] — 2-D HyperX / flattened butterfly (dimension-order vs.
+//!   minimal-adaptive).
+
+pub mod dragonfly;
+pub mod fattree;
+pub mod hyperx;
+pub mod star;
+pub mod torus;
+
+pub use dragonfly::{dragonfly, DragonflyParams};
+pub use fattree::{fattree, FatTreeParams};
+pub use hyperx::{hyperx, HyperXParams};
+pub use star::star;
+pub use torus::{torus3d, TorusParams};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared routing-trace helper: walk a packet through the spec's
+    //! switches using idle-port views, asserting termination.
+
+    use crate::fabric::TopologySpec;
+    use crate::link::LinkParams;
+    use crate::packet::{Packet, PacketHeader, PacketKind, RouteState};
+    use crate::switch::{OutPort, PortView};
+    use rvma_sim::{ComponentId, SimRng, SimTime};
+
+    pub fn mk_packet(src: u32, dst: u32) -> Packet {
+        Packet {
+            id: 0,
+            src,
+            dst,
+            payload_bytes: 1024,
+            header: PacketHeader {
+                kind: PacketKind::RvmaData,
+                msg_id: 0,
+                msg_bytes: 1024,
+                offset: 0,
+                vaddr: 0,
+                tag: 0,
+            },
+            route: RouteState::default(),
+            injected_at: SimTime::ZERO,
+        }
+    }
+
+    /// Trace the switch path from `src` to `dst` terminal. Returns the list
+    /// of switch ids visited. Panics after `max_hops` (routing loop).
+    pub fn trace_path(spec: &TopologySpec, src: u32, dst: u32, seed: u64) -> Vec<u32> {
+        let mut rng = SimRng::new(seed);
+        let mut pkt = mk_packet(src, dst);
+        let mut sw = spec.terminal_switch(src);
+        let dst_sw = spec.terminal_switch(dst);
+        let mut path = vec![sw];
+        let max_hops = 32;
+        while sw != dst_sw {
+            assert!(path.len() <= max_hops, "routing loop: {path:?}");
+            let (tb, tc) = spec.switch_terms[sw as usize];
+            let nports = tc as usize + spec.switch_links[sw as usize].len();
+            let ports: Vec<OutPort> = (0..nports)
+                .map(|_| OutPort {
+                    to: ComponentId::from_raw(0),
+                    link: LinkParams::gbps_ns(100, 100),
+                    next_free: SimTime::ZERO,
+                })
+                .collect();
+            let view = PortView::new(SimTime::ZERO, &ports);
+            let port = spec.router.route(sw, &mut pkt, &view, &mut rng);
+            assert!(
+                port >= tc as usize,
+                "routed to a terminal port at switch {sw} (terms {tb}+{tc}, dst {dst})"
+            );
+            pkt.route.hops += 1;
+            sw = spec.switch_links[sw as usize][port - tc as usize];
+            path.push(sw);
+        }
+        path
+    }
+
+    /// Exhaustively (or sampled) check all-pairs reachability and return the
+    /// maximum observed path length in switch-hops.
+    pub fn check_all_pairs(spec: &TopologySpec, sample_stride: u32) -> usize {
+        let mut max_len = 0;
+        let mut t1 = 0;
+        while t1 < spec.terminals {
+            let mut t2 = 0;
+            while t2 < spec.terminals {
+                if t1 != t2 {
+                    let p = trace_path(spec, t1, t2, 7 + t1 as u64 * 131 + t2 as u64);
+                    max_len = max_len.max(p.len() - 1);
+                }
+                t2 += sample_stride;
+            }
+            t1 += sample_stride;
+        }
+        max_len
+    }
+}

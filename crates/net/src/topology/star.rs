@@ -1,0 +1,73 @@
+//! Single-switch "star": all terminals on one switch.
+//!
+//! Not a paper topology — a minimal fabric for NIC-protocol unit tests and
+//! two-node latency microbenchmarks, where topology effects must be zero.
+
+use crate::fabric::TopologySpec;
+use crate::packet::Packet;
+use crate::router::{Router, RoutingKind};
+use crate::switch::PortView;
+use rvma_sim::SimRng;
+use std::sync::Arc;
+
+struct StarRouter {
+    kind: RoutingKind,
+}
+
+impl Router for StarRouter {
+    fn route(&self, _sw: u32, _pkt: &mut Packet, _v: &PortView<'_>, _rng: &mut SimRng) -> usize {
+        unreachable!("star: every terminal is local to the single switch")
+    }
+
+    fn ordered(&self) -> bool {
+        self.kind == RoutingKind::Static
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            RoutingKind::Static => "star-static",
+            RoutingKind::Adaptive => "star-adaptive",
+        }
+    }
+}
+
+/// Build a single-switch star with `terminals` attached terminals.
+///
+/// `kind` only controls the `ordered()` flag (there is a single path, but
+/// NIC protocols key their fence behaviour off that flag, so both variants
+/// are useful in tests).
+pub fn star(terminals: u32, kind: RoutingKind) -> TopologySpec {
+    assert!(terminals >= 1);
+    TopologySpec {
+        name: format!("star({terminals},{kind})"),
+        terminals,
+        switches: 1,
+        switch_terms: vec![(0, terminals)],
+        switch_links: vec![vec![]],
+        router: Arc::new(StarRouter { kind }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_validates() {
+        star(4, RoutingKind::Static).validate().unwrap();
+        star(1, RoutingKind::Adaptive).validate().unwrap();
+    }
+
+    #[test]
+    fn ordered_flag_follows_kind() {
+        assert!(star(2, RoutingKind::Static).router.ordered());
+        assert!(!star(2, RoutingKind::Adaptive).router.ordered());
+    }
+
+    #[test]
+    fn terminal_mapping() {
+        let s = star(3, RoutingKind::Static);
+        assert_eq!(s.terminal_switch(0), 0);
+        assert_eq!(s.terminal_switch(2), 0);
+    }
+}

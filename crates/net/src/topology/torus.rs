@@ -1,0 +1,229 @@
+//! 3-D torus with dimension-order (static) and minimal-adaptive routing.
+//!
+//! Switches form a `dx × dy × dz` grid with wraparound links in every
+//! dimension; `tps` terminals attach per switch. Canonical port order after
+//! the terminal ports: `[x+, x−, y+, y−, z+, z−]`.
+
+use crate::fabric::TopologySpec;
+use crate::packet::Packet;
+use crate::router::{Router, RoutingKind};
+use crate::switch::PortView;
+use rvma_sim::SimRng;
+use std::sync::Arc;
+
+/// Torus shape.
+#[derive(Debug, Clone, Copy)]
+pub struct TorusParams {
+    /// Grid extents; every dimension must be ≥ 2.
+    pub dims: [u32; 3],
+    /// Terminals per switch.
+    pub tps: u32,
+}
+
+impl TorusParams {
+    fn switches(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    fn coords(&self, s: u32) -> [u32; 3] {
+        let [dx, dy, _] = self.dims;
+        [s % dx, (s / dx) % dy, s / (dx * dy)]
+    }
+
+    fn switch_at(&self, c: [u32; 3]) -> u32 {
+        let [dx, dy, _] = self.dims;
+        c[0] + dx * (c[1] + dy * c[2])
+    }
+
+    fn neighbor(&self, s: u32, dim: usize, positive: bool) -> u32 {
+        let mut c = self.coords(s);
+        let n = self.dims[dim];
+        c[dim] = if positive {
+            (c[dim] + 1) % n
+        } else {
+            (c[dim] + n - 1) % n
+        };
+        self.switch_at(c)
+    }
+
+    /// Shortest direction in `dim` from `from` to `to`: `Some(positive)`,
+    /// or `None` when already aligned. Ties go positive.
+    fn shortest_dir(&self, dim: usize, from: u32, to: u32) -> Option<bool> {
+        if from == to {
+            return None;
+        }
+        let n = self.dims[dim];
+        let fwd = (to + n - from) % n;
+        Some(fwd * 2 <= n)
+    }
+}
+
+struct TorusRouter {
+    params: TorusParams,
+    kind: RoutingKind,
+}
+
+impl TorusRouter {
+    /// Port index for (dim, direction) given `tps` terminal ports.
+    fn port(&self, dim: usize, positive: bool) -> usize {
+        self.params.tps as usize + dim * 2 + usize::from(!positive)
+    }
+}
+
+impl Router for TorusRouter {
+    fn route(&self, sw: u32, pkt: &mut Packet, view: &PortView<'_>, _rng: &mut SimRng) -> usize {
+        let dst_sw = pkt.dst / self.params.tps;
+        let cur = self.params.coords(sw);
+        let dst = self.params.coords(dst_sw);
+        debug_assert_ne!(sw, dst_sw, "switch should deliver local terminals");
+        match self.kind {
+            RoutingKind::Static => {
+                // Dimension-order: resolve x, then y, then z.
+                for dim in 0..3 {
+                    if let Some(pos) = self.params.shortest_dir(dim, cur[dim], dst[dim]) {
+                        return self.port(dim, pos);
+                    }
+                }
+                unreachable!("dst switch equals current switch");
+            }
+            RoutingKind::Adaptive => {
+                // Minimal-adaptive: among productive dimensions, take the
+                // least-backlogged (shortest-direction) port.
+                let candidates = (0..3).filter_map(|dim| {
+                    self.params
+                        .shortest_dir(dim, cur[dim], dst[dim])
+                        .map(|pos| self.port(dim, pos))
+                });
+                view.least_busy(candidates)
+                    .expect("at least one productive dimension")
+            }
+        }
+    }
+
+    fn ordered(&self) -> bool {
+        self.kind == RoutingKind::Static
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            RoutingKind::Static => "torus3d-dor",
+            RoutingKind::Adaptive => "torus3d-adaptive",
+        }
+    }
+}
+
+/// Build a 3-D torus spec.
+///
+/// # Panics
+/// Panics if any dimension is < 2 or `tps` is 0.
+pub fn torus3d(params: TorusParams, kind: RoutingKind) -> TopologySpec {
+    assert!(
+        params.dims.iter().all(|&d| d >= 2),
+        "torus dims must be >= 2"
+    );
+    assert!(params.tps >= 1, "need at least one terminal per switch");
+    let switches = params.switches();
+    let mut switch_terms = Vec::with_capacity(switches as usize);
+    let mut switch_links = Vec::with_capacity(switches as usize);
+    for s in 0..switches {
+        switch_terms.push((s * params.tps, params.tps));
+        let mut links = Vec::with_capacity(6);
+        for dim in 0..3 {
+            links.push(params.neighbor(s, dim, true));
+            links.push(params.neighbor(s, dim, false));
+        }
+        switch_links.push(links);
+    }
+    TopologySpec {
+        name: format!(
+            "torus3d({}x{}x{},tps={},{})",
+            params.dims[0], params.dims[1], params.dims[2], params.tps, kind
+        ),
+        terminals: switches * params.tps,
+        switches,
+        switch_terms,
+        switch_links,
+        router: Arc::new(TorusRouter { params, kind }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::testutil::{check_all_pairs, trace_path};
+
+    fn params() -> TorusParams {
+        TorusParams {
+            dims: [4, 3, 2],
+            tps: 2,
+        }
+    }
+
+    #[test]
+    fn spec_validates() {
+        torus3d(params(), RoutingKind::Static).validate().unwrap();
+        torus3d(params(), RoutingKind::Adaptive).validate().unwrap();
+    }
+
+    #[test]
+    fn counts() {
+        let s = torus3d(params(), RoutingKind::Static);
+        assert_eq!(s.switches, 24);
+        assert_eq!(s.terminals, 48);
+        assert!(s.switch_links.iter().all(|l| l.len() == 6));
+    }
+
+    #[test]
+    fn dor_paths_reach_and_are_minimal() {
+        let s = torus3d(params(), RoutingKind::Static);
+        // Worst-case torus distance: 4/2 + 3/2 + 2/2 = 2+1+1 = 4 hops.
+        let max = check_all_pairs(&s, 5);
+        assert!(max <= 4, "DOR exceeded torus diameter: {max}");
+    }
+
+    #[test]
+    fn adaptive_paths_reach_and_are_minimal() {
+        let s = torus3d(params(), RoutingKind::Adaptive);
+        let max = check_all_pairs(&s, 5);
+        assert!(max <= 4, "minimal-adaptive exceeded diameter: {max}");
+    }
+
+    #[test]
+    fn dor_resolves_x_first() {
+        let s = torus3d(params(), RoutingKind::Static);
+        // terminal 0 at switch 0 = (0,0,0); dst terminal at switch (2,1,0)=6.
+        let path = trace_path(&s, 0, 6 * 2, 1);
+        // x: 0->1->2, then y: ->(2,1,0). Switch ids: 0,1,2,6.
+        assert_eq!(path, vec![0, 1, 2, 6]);
+    }
+
+    #[test]
+    fn wraparound_takes_short_way() {
+        let p = params();
+        // x: from 3 to 0 is +1 hop via wraparound.
+        assert_eq!(p.shortest_dir(0, 3, 0), Some(true));
+        // x: from 0 to 3 is -1 hop.
+        assert_eq!(p.shortest_dir(0, 0, 3), Some(false));
+        // tie (distance 2 both ways in dim of size 4) goes positive.
+        assert_eq!(p.shortest_dir(0, 0, 2), Some(true));
+        assert_eq!(p.shortest_dir(0, 1, 1), None);
+    }
+
+    #[test]
+    fn ordering_flags() {
+        assert!(torus3d(params(), RoutingKind::Static).router.ordered());
+        assert!(!torus3d(params(), RoutingKind::Adaptive).router.ordered());
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be >= 2")]
+    fn rejects_degenerate_dims() {
+        torus3d(
+            TorusParams {
+                dims: [1, 4, 4],
+                tps: 1,
+            },
+            RoutingKind::Static,
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The time-ordered event queue.
+//!
+//! Events are ordered by `(time, sequence number)`: the sequence number is a
+//! monotonically increasing tiebreaker so that events scheduled for the same
+//! instant fire in the order they were scheduled. This makes the whole
+//! simulation deterministic — a property DESIGN.md lists as an invariant and
+//! the integration tests check by comparing full event traces across runs.
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event sitting in the queue: fire `payload` at `time` on `target`.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// Absolute simulated instant at which the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number; tiebreaker for same-instant events.
+    pub seq: u64,
+    /// Component the event is delivered to.
+    pub target: ComponentId,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-queue of scheduled events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire on `target` at absolute instant `time`.
+    pub fn push(&mut self, time: SimTime, target: ComponentId, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Instant of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (fired or pending).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: usize) -> ComponentId {
+        ComponentId::from_raw(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), cid(0), "c");
+        q.push(SimTime::from_ns(10), cid(0), "a");
+        q.push(SimTime::from_ns(20), cid(0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.push(t, cid(0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_ns(50), cid(1), ());
+        q.push(SimTime::from_ns(7), cid(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(50)));
+    }
+
+    #[test]
+    fn counts() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, cid(0), ());
+        q.push(SimTime::ZERO, cid(0), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every stochastic choice in a model (adaptive-routing tiebreaks, jitter)
+//! must draw from the engine's [`SimRng`] so that a `(seed, config)` pair
+//! fully determines the run. ChaCha8 is used: fast, portable, and its stream
+//! is stable across platforms and Rust versions (unlike `SmallRng`).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded, reproducible RNG.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Construct from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform usize in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Fork a child RNG whose stream is a deterministic function of this
+    /// RNG's state and `stream_id`; useful for giving each component an
+    /// independent but reproducible stream.
+    pub fn fork(&mut self, stream_id: u64) -> SimRng {
+        let base: u64 = self.inner.random();
+        SimRng::new(base ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(8);
+        let va: Vec<u64> = (0..32).map(|_| a.below(u64::MAX)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.below(u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input intact");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_distinct() {
+        let mut parent1 = SimRng::new(9);
+        let mut parent2 = SimRng::new(9);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.below(1 << 60), c2.below(1 << 60));
+
+        let mut parent3 = SimRng::new(9);
+        let mut d = parent3.fork(6);
+        let mut c3 = SimRng::new(9).fork(5);
+        assert_ne!(
+            (0..8).map(|_| d.below(1 << 60)).collect::<Vec<_>>(),
+            (0..8).map(|_| c3.below(1 << 60)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_in_half_open_range() {
+        let mut r = SimRng::new(4);
+        for _ in 0..1000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = SimRng::new(5);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

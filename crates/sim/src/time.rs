@@ -1,0 +1,351 @@
+//! Simulated time and bandwidth units.
+//!
+//! [`SimTime`] is an absolute instant (or a duration — the arithmetic is the
+//! same) measured in integer picoseconds. The paper's SST runs use a 5 GHz
+//! event update frequency (200 ps resolution); picoseconds give us strictly
+//! finer granularity with room for ~213 days of simulated time in a `u64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant or duration in simulated time, in integer picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Construct from a (possibly fractional) number of nanoseconds,
+    /// rounding to the nearest picosecond.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative duration");
+        SimTime((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds (fractional).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in microseconds (fractional).
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds (fractional).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps.is_multiple_of(1_000_000_000_000) {
+            write!(f, "{}s", ps / 1_000_000_000_000)
+        } else if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+/// A link or bus bandwidth, stored as bits per second.
+///
+/// Used to compute packet serialization delays:
+/// `time = bytes * 8 / rate`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Construct from bits per second.
+    #[inline]
+    pub const fn from_bps(bps: u64) -> Self {
+        Bandwidth(bps)
+    }
+
+    /// Construct from gigabits per second (decimal, as network links are rated).
+    #[inline]
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000_000_000)
+    }
+
+    /// Construct from terabits per second.
+    #[inline]
+    pub const fn from_tbps(tbps: u64) -> Self {
+        Bandwidth(tbps * 1_000_000_000_000)
+    }
+
+    /// Raw rate in bits per second.
+    #[inline]
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Rate in gigabits per second.
+    #[inline]
+    pub fn as_gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale the bandwidth by a rational factor (e.g. crossbar speedup 3/2).
+    #[inline]
+    pub const fn scale(self, num: u64, den: u64) -> Bandwidth {
+        Bandwidth(self.0 * num / den)
+    }
+
+    /// Time to serialize `bytes` onto a medium of this bandwidth.
+    ///
+    /// Computed exactly in integer arithmetic, rounding up to the next
+    /// picosecond so that back-to-back packets never overlap.
+    #[inline]
+    pub fn serialization_time(self, bytes: u64) -> SimTime {
+        debug_assert!(self.0 > 0, "zero bandwidth");
+        let bits = bytes as u128 * 8;
+        // ps = bits / (bps / 1e12) = bits * 1e12 / bps, rounded up.
+        let ps = (bits * 1_000_000_000_000).div_ceil(self.0 as u128);
+        SimTime(ps as u64)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000_000_000) {
+            write!(f, "{}Tbps", self.0 / 1_000_000_000_000)
+        } else if self.0.is_multiple_of(1_000_000_000) {
+            write!(f, "{}Gbps", self.0 / 1_000_000_000)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_agree() {
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(30);
+        assert_eq!(a + b, SimTime::from_ns(130));
+        assert_eq!(a - b, SimTime::from_ns(70));
+        assert_eq!(a * 3, SimTime::from_ns(300));
+        assert_eq!(a / 4, SimTime::from_ns(25));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn simtime_sum() {
+        let total: SimTime = (1..=4).map(SimTime::from_ns).sum();
+        assert_eq!(total, SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn simtime_from_f64_rounds() {
+        assert_eq!(SimTime::from_ns_f64(1.5), SimTime::from_ps(1_500));
+        assert_eq!(SimTime::from_ns_f64(0.0004), SimTime::from_ps(0));
+        assert_eq!(SimTime::from_ns_f64(0.0006), SimTime::from_ps(1));
+    }
+
+    #[test]
+    fn simtime_display_units() {
+        assert_eq!(SimTime::from_ps(5).to_string(), "5ps");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5.000ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5.000us");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5s");
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn bandwidth_serialization_exact() {
+        // 100 Gbps = 12.5 GB/s; 1250 bytes take exactly 100 ns.
+        let bw = Bandwidth::from_gbps(100);
+        assert_eq!(bw.serialization_time(1250), SimTime::from_ns(100));
+        // 1 byte at 1 Gbps = 8 ns.
+        let bw = Bandwidth::from_gbps(1);
+        assert_eq!(bw.serialization_time(1), SimTime::from_ns(8));
+    }
+
+    #[test]
+    fn bandwidth_serialization_rounds_up() {
+        // 3 bytes at 7 bps: 24 bits / 7 bps = 3.428... s -> must round up.
+        let bw = Bandwidth::from_bps(7);
+        let t = bw.serialization_time(3);
+        assert!(t >= SimTime::from_ns_f64(24.0 / 7.0 * 1e9));
+    }
+
+    #[test]
+    fn bandwidth_scale_crossbar() {
+        // Paper: crossbar bandwidth is always 50% greater than link bandwidth.
+        let link = Bandwidth::from_gbps(400);
+        assert_eq!(link.scale(3, 2), Bandwidth::from_gbps(600));
+    }
+
+    #[test]
+    fn bandwidth_display() {
+        assert_eq!(Bandwidth::from_gbps(100).to_string(), "100Gbps");
+        assert_eq!(Bandwidth::from_tbps(2).to_string(), "2Tbps");
+    }
+
+    #[test]
+    fn zero_bytes_serialize_instantly() {
+        assert_eq!(
+            Bandwidth::from_gbps(100).serialization_time(0),
+            SimTime::ZERO
+        );
+    }
+}

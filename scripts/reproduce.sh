@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the RVMA paper reproduction.
+# Outputs: stdout tables + CSVs under results/.
+# Usage: scripts/reproduce.sh [--nodes N | --full-scale]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=("$@")
+
+echo "== building (release) =="
+cargo build --release -p rvma-bench
+
+run() { echo; echo "== $1 =="; shift; cargo run -q --release -p rvma-bench --bin "$@"; }
+
+run "Fig 4 (Verbs latency)"        fig4_verbs_latency
+run "Fig 5 (UCX latency)"          fig5_ucx_latency
+run "Fig 6 (setup amortization)"   fig6_amortization
+run "Fig 7 (Sweep3D matrix)"       fig7_sweep3d -- "${ARGS[@]}"
+run "Fig 8 (Halo3D matrix)"        fig8_halo3d -- "${ARGS[@]}"
+run "Headline summary"             headline_summary -- "${ARGS[@]}"
+run "Ablation: completion"         ablation_completion -- "${ARGS[@]}"
+run "Ablation: PCIe"               ablation_pcie -- "${ARGS[@]}"
+run "Ablation: counters"           ablation_counters
+run "Ablation: lookup"             ablation_lookup
+run "Many-to-one"                  manytoone
+run "Topology report"              topo_report
+
+echo
+echo "CSVs written to results/"

@@ -1,0 +1,188 @@
+//! Cross-crate regression tests pinning the reproduction to the paper's
+//! claims: if a refactor silently changes a protocol model and the
+//! headline numbers drift outside their bands, these fail.
+
+use rvma::microbench::{
+    amortization_figure, peak_reduction, ucx_connectx5, verbs_omnipath, Routing,
+};
+use rvma::motifs::{compare_protocols, Halo3dConfig, Halo3dNode, Sweep3dConfig, Sweep3dNode};
+use rvma::net::fabric::FabricConfig;
+use rvma::net::router::RoutingKind;
+use rvma::net::topology::{dragonfly, hyperx, DragonflyParams, HyperXParams};
+use rvma::nic::{HostLogic, NicConfig};
+use rvma::sim::SimTime;
+
+#[test]
+fn fig4_verbs_headline_65_8_percent() {
+    let r = peak_reduction(&verbs_omnipath());
+    assert!(
+        (r - 0.658).abs() < 0.02,
+        "Verbs peak reduction {r:.3} outside 65.8% ± 2%"
+    );
+}
+
+#[test]
+fn fig5_ucx_headline_45_8_percent() {
+    let r = peak_reduction(&ucx_connectx5());
+    assert!(
+        (r - 0.458).abs() < 0.02,
+        "UCX peak reduction {r:.3} outside 45.8% ± 2%"
+    );
+}
+
+#[test]
+fn fig6_many_exchanges_needed_for_small_messages() {
+    // Paper: "a large number of exchanges are needed to amortize away
+    // setup costs", within a 3% margin.
+    let rows = amortization_figure(&ucx_connectx5(), 0.03);
+    assert!(rows[0].exchanges_static > 30);
+    // Monotone non-increasing with size; adaptive needs <= static.
+    for w in rows.windows(2) {
+        assert!(w[1].exchanges_static <= w[0].exchanges_static);
+    }
+    for r in &rows {
+        assert!(r.exchanges_adaptive <= r.exchanges_static);
+    }
+}
+
+#[test]
+fn microbench_rvma_never_slower_on_adaptive() {
+    for m in [verbs_omnipath(), ucx_connectx5()] {
+        for size in rvma::microbench::latency_sizes() {
+            assert!(
+                m.rvma_put(size) < m.rdma_put(size, Routing::Adaptive),
+                "{}: RVMA slower at {size}",
+                m.name
+            );
+        }
+    }
+}
+
+fn sweep_cfg(nodes: u32) -> Sweep3dConfig {
+    let side = (nodes as f64).sqrt() as u32;
+    Sweep3dConfig {
+        pgrid: [side, nodes / side],
+        cells: [64, 64, 512],
+        zblock: 16,
+        elem_bytes: 8,
+        compute_per_block: SimTime::from_ns(500),
+        octants: 8,
+    }
+}
+
+#[test]
+fn fig7_sweep3d_rvma_wins_big_on_adaptive_dragonfly() {
+    // The paper's flagship cell (scaled down): adaptive dragonfly. At
+    // 400 Gbps the speedup should sit in the 2x–6x band around the paper's
+    // 2x-4.4x range.
+    let motif = sweep_cfg(16);
+    let spec = dragonfly(DragonflyParams { a: 4, p: 2, h: 2 }, RoutingKind::Adaptive);
+    let nodes = motif.nodes();
+    let (_rdma, _rvma, speedup) = compare_protocols(
+        &spec,
+        &FabricConfig::at_gbps(400),
+        NicConfig::default(),
+        7,
+        |n| {
+            if n < nodes {
+                Box::new(Sweep3dNode::new(motif, n)) as Box<dyn HostLogic>
+            } else {
+                Box::new(rvma::motifs::IdleNode) as Box<dyn HostLogic>
+            }
+        },
+    );
+    assert!(
+        speedup > 2.0 && speedup < 6.0,
+        "sweep3d dragonfly-adaptive speedup {speedup:.2} outside [2, 6]"
+    );
+}
+
+#[test]
+fn fig7_speedup_grows_with_link_speed() {
+    // Paper: ≥2x contemporary, 4.4x at 2 Tbps — the advantage grows as
+    // serialization shrinks and fixed coordination dominates.
+    let motif = sweep_cfg(16);
+    let spec = dragonfly(DragonflyParams { a: 4, p: 2, h: 2 }, RoutingKind::Adaptive);
+    let nodes = motif.nodes();
+    let at = |gbps| {
+        compare_protocols(
+            &spec,
+            &FabricConfig::at_gbps(gbps),
+            NicConfig::default(),
+            7,
+            |n| {
+                if n < nodes {
+                    Box::new(Sweep3dNode::new(motif, n)) as Box<dyn HostLogic>
+                } else {
+                    Box::new(rvma::motifs::IdleNode) as Box<dyn HostLogic>
+                }
+            },
+        )
+        .2
+    };
+    let slow = at(100);
+    let fast = at(2000);
+    assert!(
+        fast > slow,
+        "speedup should grow with link speed: {slow:.2} -> {fast:.2}"
+    );
+}
+
+#[test]
+fn fig8_halo3d_band_on_hyperx_dor() {
+    // Paper: HyperX DOR 1.64x @400G, 1.89x @2T. Accept a generous band
+    // around the paper's 1.57x average: [1.1, 2.5].
+    let motif = Halo3dConfig {
+        pgrid: [2, 2, 2],
+        cells: [32, 32, 32],
+        elem_bytes: 8,
+        iters: 10,
+        compute: SimTime::from_ns(200),
+    };
+    let spec = hyperx(HyperXParams { d: [4, 2], tps: 1 }, RoutingKind::Static);
+    let (_rdma, _rvma, speedup) = compare_protocols(
+        &spec,
+        &FabricConfig::at_gbps(400),
+        NicConfig::default(),
+        7,
+        |n| Box::new(Halo3dNode::new(motif, n)) as Box<dyn HostLogic>,
+    );
+    assert!(
+        speedup > 1.1 && speedup < 2.5,
+        "halo3d hyperx-dor speedup {speedup:.2} outside [1.1, 2.5]"
+    );
+}
+
+#[test]
+fn sweep3d_beats_halo3d_in_relative_gain() {
+    // The paper's figs 7 vs 8: the latency-bound motif gains far more than
+    // the bandwidth-bound one.
+    let sweep = sweep_cfg(16);
+    let halo = Halo3dConfig {
+        pgrid: [4, 2, 2],
+        cells: [32, 32, 32],
+        elem_bytes: 8,
+        iters: 10,
+        compute: SimTime::from_ns(200),
+    };
+    let spec = dragonfly(DragonflyParams { a: 4, p: 2, h: 2 }, RoutingKind::Adaptive);
+    let fcfg = FabricConfig::at_gbps(400);
+    let nodes = 16;
+    let s = compare_protocols(&spec, &fcfg, NicConfig::default(), 7, |n| {
+        if n < nodes {
+            Box::new(Sweep3dNode::new(sweep, n)) as Box<dyn HostLogic>
+        } else {
+            Box::new(rvma::motifs::IdleNode) as Box<dyn HostLogic>
+        }
+    })
+    .2;
+    let h = compare_protocols(&spec, &fcfg, NicConfig::default(), 7, |n| {
+        if n < nodes {
+            Box::new(Halo3dNode::new(halo, n)) as Box<dyn HostLogic>
+        } else {
+            Box::new(rvma::motifs::IdleNode) as Box<dyn HostLogic>
+        }
+    })
+    .2;
+    assert!(s > h, "sweep {s:.2}x should exceed halo {h:.2}x");
+}

@@ -1,0 +1,123 @@
+//! Property-based checks over randomized topology parameters: every
+//! generated instance must wire symmetrically, and both routing variants
+//! must deliver every sampled terminal pair within the family's worst-case
+//! hop bound, with no routing loops.
+
+use proptest::prelude::*;
+use rvma::net::fabric::TopologySpec;
+use rvma::net::link::LinkParams;
+use rvma::net::packet::{Packet, PacketHeader, PacketKind, RouteState};
+use rvma::net::router::RoutingKind;
+use rvma::net::switch::{OutPort, PortView};
+use rvma::net::topology::{
+    dragonfly, fattree, hyperx, torus3d, DragonflyParams, FatTreeParams, HyperXParams, TorusParams,
+};
+use rvma::sim::{ComponentId, SimRng, SimTime};
+
+fn mk_packet(src: u32, dst: u32) -> Packet {
+    Packet {
+        id: 0,
+        src,
+        dst,
+        payload_bytes: 512,
+        header: PacketHeader {
+            kind: PacketKind::RvmaData,
+            msg_id: 0,
+            msg_bytes: 512,
+            offset: 0,
+            vaddr: 0,
+            tag: 0,
+        },
+        route: RouteState::default(),
+        injected_at: SimTime::ZERO,
+    }
+}
+
+/// Walk the route from `src` to `dst` over idle ports; return hop count.
+fn path_len(spec: &TopologySpec, src: u32, dst: u32, seed: u64, max_hops: usize) -> usize {
+    let mut rng = SimRng::new(seed);
+    let mut pkt = mk_packet(src, dst);
+    let mut sw = spec.terminal_switch(src);
+    let dst_sw = spec.terminal_switch(dst);
+    let mut hops = 0;
+    while sw != dst_sw {
+        assert!(
+            hops < max_hops,
+            "routing loop in {} at hop {hops}",
+            spec.name
+        );
+        let (_, tc) = spec.switch_terms[sw as usize];
+        let nports = tc as usize + spec.switch_links[sw as usize].len();
+        let ports: Vec<OutPort> = (0..nports)
+            .map(|_| OutPort {
+                to: ComponentId::from_raw(0),
+                link: LinkParams::gbps_ns(100, 100),
+                next_free: SimTime::ZERO,
+            })
+            .collect();
+        let view = PortView::new(SimTime::ZERO, &ports);
+        let port = spec.router.route(sw, &mut pkt, &view, &mut rng);
+        assert!(port >= tc as usize, "routed into a terminal port");
+        pkt.route.hops += 1;
+        sw = spec.switch_links[sw as usize][port - tc as usize];
+        hops += 1;
+    }
+    hops
+}
+
+fn check_spec(spec: &TopologySpec, bound: usize, samples: u32) {
+    spec.validate().expect("wiring");
+    let n = spec.terminals;
+    for k in 0..samples {
+        let src = (k * 7919) % n;
+        let dst = (src + 1 + (k * 104_729) % (n - 1)) % n;
+        if src == dst {
+            continue;
+        }
+        let hops = path_len(spec, src, dst, 11 + k as u64, 64);
+        assert!(
+            hops <= bound,
+            "{}: {src}->{dst} took {hops} hops (bound {bound})",
+            spec.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn torus_any_shape_routes(
+        dx in 2u32..6, dy in 2u32..6, dz in 2u32..5, tps in 1u32..4,
+    ) {
+        let p = TorusParams { dims: [dx, dy, dz], tps };
+        let bound = (dx / 2 + dy / 2 + dz / 2) as usize;
+        for kind in [RoutingKind::Static, RoutingKind::Adaptive] {
+            check_spec(&torus3d(p, kind), bound, 24);
+        }
+    }
+
+    #[test]
+    fn hyperx_any_shape_routes(d0 in 2u32..8, d1 in 2u32..8, tps in 1u32..5) {
+        let p = HyperXParams { d: [d0, d1], tps };
+        for kind in [RoutingKind::Static, RoutingKind::Adaptive] {
+            check_spec(&hyperx(p, kind), 2, 24);
+        }
+    }
+
+    #[test]
+    fn fattree_any_k_routes(half_k in 1u32..5) {
+        let p = FatTreeParams { k: half_k * 2 };
+        for kind in [RoutingKind::Static, RoutingKind::Adaptive] {
+            check_spec(&fattree(p, kind), 4, 24);
+        }
+    }
+
+    #[test]
+    fn dragonfly_any_shape_routes(a in 2u32..6, p_ in 1u32..4, h in 1u32..4) {
+        let p = DragonflyParams { a, p: p_, h };
+        // Minimal: 3; UGAL may take a Valiant detour: 6.
+        check_spec(&dragonfly(p, RoutingKind::Static), 3, 24);
+        check_spec(&dragonfly(p, RoutingKind::Adaptive), 6, 24);
+    }
+}

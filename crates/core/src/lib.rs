@@ -70,7 +70,8 @@ pub use addr::{NodeAddr, VirtAddr};
 pub use buffer::{CompletedBuffer, EpochType, Threshold};
 pub use endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot};
 pub use error::{NackReason, Result, RvmaError};
-pub use mailbox::{Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
+pub use lut::LUT_SHARDS;
+pub use mailbox::{EpochProgress, Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
 pub use matching::{MatchEntry, MatchList, MatchStats, ANY_SOURCE};
 pub use mpix::MpixWindow;
 pub use notify::{wait_all, wait_any, Notification, NotificationSlot};

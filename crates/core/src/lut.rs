@@ -12,64 +12,121 @@
 //! with [`RvmaError::LutFull`] so callers can model counter/entry exhaustion
 //! (the paper notes overflow would spill to host memory at a latency cost —
 //! the `rvma-nic` crate models that cost; here we expose the bound).
+//!
+//! # Sharding
+//!
+//! The table is split into [`LUT_SHARDS`] independently locked shards keyed
+//! by a hash of the virtual address, so concurrent lookups (and even
+//! concurrent registration) to different mailboxes never contend on one
+//! global lock — in hardware terms, the LUT is a banked SRAM, not a single
+//! ported array. All methods take `&self`; the global entry count and the
+//! capacity bound are maintained with an atomic reservation counter, so the
+//! bound holds exactly even under concurrent `insert` races.
 
 use crate::addr::VirtAddr;
 use crate::error::{Result, RvmaError};
 use crate::mailbox::Mailbox;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A bounded, single-resolution lookup table.
+/// Number of lock shards in a [`Lut`]. A power of two so shard selection is
+/// a mask; 16 is comfortably above the worker counts the threaded transport
+/// uses, making cross-mailbox lock collisions rare.
+pub const LUT_SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<VirtAddr, Arc<Mutex<Mailbox>>>>;
+
+/// A bounded, single-resolution lookup table, sharded for concurrency.
 #[derive(Debug)]
 pub struct Lut {
-    map: HashMap<VirtAddr, Arc<Mutex<Mailbox>>>,
+    shards: Box<[Shard]>,
+    /// Registered entries across all shards. `insert` *reserves* a slot here
+    /// before touching a shard, so the capacity bound is exact under races.
+    len: AtomicUsize,
     capacity: Option<usize>,
 }
 
 impl Lut {
     /// An empty LUT; `capacity = None` means unbounded (host-memory spill
-    /// is assumed free at the semantic level).
+    /// is assumed free at the semantic level). Shards are pre-sized from the
+    /// capacity so bounded tables never rehash on insert.
     pub fn new(capacity: Option<usize>) -> Self {
+        let per_shard = capacity.map_or(0, |c| c.div_ceil(LUT_SHARDS));
+        let shards = (0..LUT_SHARDS)
+            .map(|_| RwLock::new(HashMap::with_capacity(per_shard)))
+            .collect();
         Lut {
-            map: HashMap::new(),
+            shards,
+            len: AtomicUsize::new(0),
             capacity,
         }
     }
 
+    #[inline]
+    fn shard(&self, vaddr: VirtAddr) -> &Shard {
+        // Fibonacci hash of the raw address; the low bits of typical vaddrs
+        // are sequential, so spread them before masking.
+        let h = vaddr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 48) as usize & (LUT_SHARDS - 1)]
+    }
+
     /// Register a mailbox. Fails if the address is taken or the table full.
-    pub fn insert(&mut self, vaddr: VirtAddr, mailbox: Arc<Mutex<Mailbox>>) -> Result<()> {
-        if self.map.contains_key(&vaddr) {
-            return Err(RvmaError::MailboxExists(vaddr));
-        }
+    pub fn insert(&self, vaddr: VirtAddr, mailbox: Arc<Mutex<Mailbox>>) -> Result<()> {
+        // Reserve a slot before taking any shard lock so the bound is exact
+        // even when inserts race across shards.
         if let Some(cap) = self.capacity {
-            if self.map.len() >= cap {
+            let reserved = self
+                .len
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < cap).then_some(n + 1)
+                });
+            if reserved.is_err() {
                 return Err(RvmaError::LutFull);
             }
+        } else {
+            self.len.fetch_add(1, Ordering::AcqRel);
         }
-        self.map.insert(vaddr, mailbox);
-        Ok(())
+        match self.shard(vaddr).write().entry(vaddr) {
+            Entry::Occupied(_) => {
+                // Give the reservation back: the duplicate consumed nothing.
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                Err(RvmaError::MailboxExists(vaddr))
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(mailbox);
+                Ok(())
+            }
+        }
     }
 
     /// The single-lookup resolution: found or not found, never ambiguous.
+    /// Takes only the owning shard's read lock — lookups of different
+    /// mailboxes proceed fully in parallel.
     pub fn lookup(&self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
-        self.map.get(&vaddr).cloned()
+        self.shard(vaddr).read().get(&vaddr).cloned()
     }
 
     /// Remove an entry entirely (reclaiming LUT capacity). Returns the
     /// mailbox if it was present.
-    pub fn remove(&mut self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
-        self.map.remove(&vaddr)
+    pub fn remove(&self, vaddr: VirtAddr) -> Option<Arc<Mutex<Mailbox>>> {
+        let removed = self.shard(vaddr).write().remove(&vaddr);
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::AcqRel);
+        }
+        removed
     }
 
     /// Number of registered entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len.load(Ordering::Acquire)
     }
 
     /// True when no entries are registered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// The configured capacity, if bounded.
@@ -77,9 +134,13 @@ impl Lut {
         self.capacity
     }
 
-    /// All registered virtual addresses (diagnostics).
+    /// All registered virtual addresses (diagnostics). Not a point-in-time
+    /// snapshot under concurrent mutation: shards are read one at a time.
     pub fn addresses(&self) -> Vec<VirtAddr> {
-        self.map.keys().copied().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect()
     }
 }
 
@@ -98,7 +159,7 @@ mod tests {
 
     #[test]
     fn insert_lookup_remove() {
-        let mut lut = Lut::new(None);
+        let lut = Lut::new(None);
         lut.insert(VirtAddr::new(1), mbox(1)).unwrap();
         assert!(lut.lookup(VirtAddr::new(1)).is_some());
         assert!(lut.lookup(VirtAddr::new(2)).is_none());
@@ -110,17 +171,19 @@ mod tests {
 
     #[test]
     fn duplicate_insert_fails() {
-        let mut lut = Lut::new(None);
+        let lut = Lut::new(None);
         lut.insert(VirtAddr::new(7), mbox(7)).unwrap();
         assert_eq!(
             lut.insert(VirtAddr::new(7), mbox(7)),
             Err(RvmaError::MailboxExists(VirtAddr::new(7)))
         );
+        // The failed duplicate must not leak a reserved slot.
+        assert_eq!(lut.len(), 1);
     }
 
     #[test]
     fn capacity_is_enforced_and_reclaimable() {
-        let mut lut = Lut::new(Some(2));
+        let lut = Lut::new(Some(2));
         lut.insert(VirtAddr::new(1), mbox(1)).unwrap();
         lut.insert(VirtAddr::new(2), mbox(2)).unwrap();
         assert_eq!(
@@ -133,12 +196,70 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_insert_at_capacity_releases_reservation() {
+        let lut = Lut::new(Some(2));
+        lut.insert(VirtAddr::new(1), mbox(1)).unwrap();
+        assert!(lut.insert(VirtAddr::new(1), mbox(1)).is_err());
+        // The duplicate failure above must not eat the second slot.
+        lut.insert(VirtAddr::new(2), mbox(2)).unwrap();
+        assert_eq!(lut.len(), 2);
+    }
+
+    #[test]
     fn addresses_lists_entries() {
-        let mut lut = Lut::new(None);
+        let lut = Lut::new(None);
         lut.insert(VirtAddr::new(5), mbox(5)).unwrap();
         lut.insert(VirtAddr::new(9), mbox(9)).unwrap();
         let mut addrs = lut.addresses();
         addrs.sort();
         assert_eq!(addrs, vec![VirtAddr::new(5), VirtAddr::new(9)]);
+    }
+
+    #[test]
+    fn concurrent_inserts_respect_capacity_exactly() {
+        let lut = Arc::new(Lut::new(Some(64)));
+        let ok = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let lut = lut.clone();
+                let ok = &ok;
+                s.spawn(move || {
+                    for i in 0..32u64 {
+                        let v = VirtAddr::new(t * 1000 + i);
+                        if lut.insert(v, mbox(v.raw())).is_ok() {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 64);
+        assert_eq!(lut.len(), 64);
+        assert_eq!(lut.addresses().len(), 64);
+    }
+
+    #[test]
+    fn concurrent_lookups_while_inserting() {
+        let lut = Arc::new(Lut::new(None));
+        for i in 0..128u64 {
+            lut.insert(VirtAddr::new(i), mbox(i)).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let lut = lut.clone();
+                s.spawn(move || {
+                    for i in 0..128u64 {
+                        assert!(lut.lookup(VirtAddr::new((i + t) % 128)).is_some());
+                    }
+                });
+            }
+            let writer = lut.clone();
+            s.spawn(move || {
+                for i in 1000..1128u64 {
+                    writer.insert(VirtAddr::new(i), mbox(i)).unwrap();
+                }
+            });
+        });
+        assert_eq!(lut.len(), 256);
     }
 }

@@ -14,11 +14,36 @@
 //!   this is what frees RVMA from byte-level network ordering.
 //! * **Receiver-Managed** (the sockets-like mode): the receiver assigns
 //!   placement, appending arrivals at a cursor like a stream socket.
+//!
+//! # Two-phase delivery
+//!
+//! Delivery is split so the payload copy — the expensive part of the
+//! datapath — happens **outside** the mailbox's lock:
+//!
+//! 1. `Mailbox::deliver_begin` (under the lock): validate, reserve the
+//!    destination range `[place_at, end)`, bump the byte/op counters, and
+//!    record an in-flight writer.
+//! 2. The caller drops the lock and copies the payload through the returned
+//!    `WriteReservation` — concurrent fragments to *disjoint* ranges of
+//!    the same mailbox copy fully in parallel.
+//! 3. `Mailbox::deliver_finish` (under the lock): retire the reservation;
+//!    if the threshold was reached, the **last** in-flight writer completes
+//!    the epoch, so a completed buffer is never published while bytes are
+//!    still landing in it.
+//!
+//! A fragment whose range overlaps an in-flight reservation reports
+//! `BeginOutcome::Contended`; the caller drops the lock, yields, and
+//! retries (overlapping concurrent writes are already "not recommended"
+//! usage — the retry only serializes them instead of racing).
+//! Epoch progress is mirrored into an [`EpochProgress`] that can be read
+//! lock-free while deliveries are in flight.
 
 use crate::addr::VirtAddr;
 use crate::buffer::{CompletedBuffer, EpochType, PostedBuffer};
 use crate::error::{NackReason, Result, RvmaError};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Placement mode of a mailbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +84,82 @@ pub enum DeliveryOutcome {
     Discarded(NackReason),
 }
 
+/// Result of `Mailbox::deliver_begin`.
+pub(crate) enum BeginOutcome {
+    /// A destination range was reserved: copy the payload through the
+    /// reservation *without* holding the mailbox lock, then call
+    /// `Mailbox::deliver_finish` under the lock.
+    Reserved(WriteReservation),
+    /// Delivery resolved entirely under the lock (discard, or a zero-length
+    /// fragment that needed no copy).
+    Done(DeliveryOutcome),
+    /// The fragment's range overlaps an in-flight reservation. Drop the
+    /// lock, yield, and retry `deliver_begin`.
+    Contended,
+}
+
+/// A reserved destination range in a mailbox's active buffer.
+///
+/// The pointed-to range stays valid until `Mailbox::deliver_finish` is
+/// called with this reservation: while any writer is in flight the mailbox
+/// neither completes nor frees its active buffer (close parks it in a
+/// draining slot instead).
+pub(crate) struct WriteReservation {
+    ptr: *mut u8,
+    len: usize,
+    start: usize,
+}
+
+impl WriteReservation {
+    /// Copy `data` into the reserved range.
+    ///
+    /// # Safety
+    ///
+    /// Call at most once, with `data.len()` equal to the reserved length,
+    /// between the `deliver_begin` that produced this reservation and the
+    /// matching `deliver_finish`. The mailbox guarantees no other writer
+    /// holds an overlapping reservation and no reader observes the range
+    /// until `deliver_finish` retires it.
+    pub(crate) unsafe fn fill(&self, data: &[u8]) {
+        debug_assert_eq!(data.len(), self.len);
+        unsafe { std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, self.len) };
+    }
+}
+
+// The reservation is only ever used by the thread that called
+// `deliver_begin`, but endpoints are free to hand it across threads; the
+// range it points into is pinned by the mailbox's writer accounting.
+unsafe impl Send for WriteReservation {}
+
+/// Lock-free observable progress of a mailbox's current epoch.
+///
+/// Updated by the delivery path while it holds the mailbox lock; readable
+/// (e.g. from a polling application thread) without taking any lock. This
+/// is the software analogue of the NIC's memory-mapped counter pair.
+#[derive(Debug, Default)]
+pub struct EpochProgress {
+    bytes: AtomicU64,
+    ops: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl EpochProgress {
+    /// Bytes landed in the active buffer so far this epoch.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    /// Operations landed against the active buffer so far this epoch.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Acquire)
+    }
+
+    /// Number of completed epochs (== index of the current epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
 /// A mailbox: the target-side state behind one RVMA virtual address.
 #[derive(Debug)]
 pub struct Mailbox {
@@ -66,20 +167,26 @@ pub struct Mailbox {
     mode: MailboxMode,
     /// Head is the active buffer; the rest are queued for future epochs.
     queue: VecDeque<PostedBuffer>,
-    /// Bytes written into the active buffer this epoch.
-    bytes_this_epoch: u64,
-    /// Operations completed against the active buffer this epoch.
-    ops_this_epoch: u64,
+    /// Epoch counters, shared with lock-free readers via [`EpochProgress`].
+    progress: Arc<EpochProgress>,
     /// Per-op received-byte progress for multi-fragment ops (op counting).
     op_progress: HashMap<OpKey, u64>,
-    /// Number of completed epochs == index of the current epoch.
-    epoch: u64,
     /// Retired buffers, oldest first, bounded by `retain`.
     retired: VecDeque<CompletedBuffer>,
     retain: usize,
     closed: bool,
     /// Stream cursor for `Managed` mode.
     cursor: usize,
+    /// Writers that called `deliver_begin` but not yet `deliver_finish`.
+    writers: usize,
+    /// Reserved `[start, end)` ranges of those writers.
+    inflight: Vec<(usize, usize)>,
+    /// Threshold was reached (or `inc_epoch` requested) while writers were
+    /// still copying; the last `deliver_finish` performs the completion.
+    pending_completion: bool,
+    /// Active buffer parked by `close()` while writers were still copying
+    /// into it; dropped when the last writer finishes.
+    draining: Option<PostedBuffer>,
 }
 
 impl Mailbox {
@@ -89,14 +196,16 @@ impl Mailbox {
             vaddr,
             mode,
             queue: VecDeque::new(),
-            bytes_this_epoch: 0,
-            ops_this_epoch: 0,
+            progress: Arc::new(EpochProgress::default()),
             op_progress: HashMap::new(),
-            epoch: 0,
             retired: VecDeque::new(),
             retain,
             closed: false,
             cursor: 0,
+            writers: 0,
+            inflight: Vec::new(),
+            pending_completion: false,
+            draining: None,
         }
     }
 
@@ -112,7 +221,7 @@ impl Mailbox {
 
     /// Current epoch (number of completed epochs so far).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.progress.epoch()
     }
 
     /// Number of buffers posted and not yet completed (including active).
@@ -127,12 +236,17 @@ impl Mailbox {
 
     /// Bytes landed in the active buffer so far this epoch.
     pub fn bytes_this_epoch(&self) -> u64 {
-        self.bytes_this_epoch
+        self.progress.bytes()
     }
 
     /// Operations landed against the active buffer so far this epoch.
     pub fn ops_this_epoch(&self) -> u64 {
-        self.ops_this_epoch
+        self.progress.ops()
+    }
+
+    /// A handle to the epoch counters, readable without the mailbox lock.
+    pub fn progress_handle(&self) -> Arc<EpochProgress> {
+        self.progress.clone()
     }
 
     /// Post a buffer (paper: `RVMA_Post_buffer`). Appends to the bucket;
@@ -149,27 +263,26 @@ impl Mailbox {
         Ok(())
     }
 
-    /// Deliver one fragment of an operation.
-    ///
-    /// `op_key` identifies the whole operation, `op_total_len` its full byte
-    /// count (fragments of one op share both), `offset` is the byte offset
-    /// into the active buffer (ignored — receiver-assigned — in `Managed`
-    /// mode), and `data` the fragment payload.
-    ///
-    /// This is the NIC datapath of paper Fig. 3 steps 2–5: translate, write
-    /// payload, bump counters, check threshold, maybe complete.
-    pub(crate) fn deliver(
+    /// Phase 1 of delivery (paper Fig. 3 steps 2–4 minus the payload
+    /// write): translate the placement, validate bounds, reserve the
+    /// destination range, and bump the threshold counters — all under the
+    /// caller's mailbox lock. The payload copy itself is the caller's,
+    /// performed lock-free through the returned reservation.
+    pub(crate) fn deliver_begin(
         &mut self,
         op_key: OpKey,
         op_total_len: u64,
         offset: usize,
-        data: &[u8],
-    ) -> DeliveryOutcome {
+        data_len: usize,
+    ) -> BeginOutcome {
         if self.closed {
-            return DeliveryOutcome::Discarded(NackReason::WindowClosed);
+            return BeginOutcome::Done(DeliveryOutcome::Discarded(NackReason::WindowClosed));
         }
-        let Some(active) = self.queue.front_mut() else {
-            return DeliveryOutcome::Discarded(NackReason::NoBufferPosted);
+        let (buf_len, threshold) = match self.queue.front() {
+            Some(active) => (active.data.len(), active.threshold),
+            None => {
+                return BeginOutcome::Done(DeliveryOutcome::Discarded(NackReason::NoBufferPosted))
+            }
         };
 
         // Placement.
@@ -177,46 +290,130 @@ impl Mailbox {
             MailboxMode::Steered => offset,
             MailboxMode::Managed => self.cursor,
         };
-        let end = match place_at.checked_add(data.len()) {
-            Some(e) if e <= active.data.len() => e,
-            _ => return DeliveryOutcome::Discarded(NackReason::OutOfBounds),
+        let end = match place_at.checked_add(data_len) {
+            Some(e) if e <= buf_len => e,
+            _ => return BeginOutcome::Done(DeliveryOutcome::Discarded(NackReason::OutOfBounds)),
         };
-        active.data[place_at..end].copy_from_slice(data);
+        if data_len > 0 && self.inflight.iter().any(|&(s, e)| place_at < e && s < end) {
+            return BeginOutcome::Contended;
+        }
         if self.mode == MailboxMode::Managed {
             self.cursor = end;
         }
 
-        // Counting.
-        self.bytes_this_epoch += data.len() as u64;
-        if data.len() as u64 >= op_total_len {
+        // Counting. (In Managed mode the cursor reservation above already
+        // made concurrent ranges disjoint, so counting here is exact.)
+        self.progress
+            .bytes
+            .fetch_add(data_len as u64, Ordering::AcqRel);
+        if data_len as u64 >= op_total_len {
             // Single-fragment op: count immediately, no tracking entry.
-            self.ops_this_epoch += 1;
+            self.progress.ops.fetch_add(1, Ordering::AcqRel);
         } else {
             let got = self.op_progress.entry(op_key).or_insert(0);
-            *got += data.len() as u64;
+            *got += data_len as u64;
             if *got >= op_total_len {
                 self.op_progress.remove(&op_key);
-                self.ops_this_epoch += 1;
+                self.progress.ops.fetch_add(1, Ordering::AcqRel);
             }
         }
 
-        // Threshold check.
-        let t = active.threshold;
-        let reached = match t.ty {
-            EpochType::Bytes => self.bytes_this_epoch >= t.count,
-            EpochType::Ops => self.ops_this_epoch >= t.count,
+        // Threshold check. Completion is deferred to the last in-flight
+        // writer so the buffer is never published mid-copy.
+        let reached = match threshold.ty {
+            EpochType::Bytes => self.progress.bytes() >= threshold.count,
+            EpochType::Ops => self.progress.ops() >= threshold.count,
         };
         if reached {
-            self.complete_active();
+            self.pending_completion = true;
+        }
+
+        if data_len == 0 {
+            // Nothing to copy; resolve in place.
+            return BeginOutcome::Done(if self.try_complete() {
+                DeliveryOutcome::Completed
+            } else {
+                DeliveryOutcome::Accepted
+            });
+        }
+
+        self.writers += 1;
+        self.inflight.push((place_at, end));
+        let active = self.queue.front_mut().expect("active checked above");
+        // Pointer into the active buffer's heap allocation; stable while
+        // writers > 0 (see WriteReservation docs).
+        let ptr = unsafe { active.data.as_mut_ptr().add(place_at) };
+        BeginOutcome::Reserved(WriteReservation {
+            ptr,
+            len: data_len,
+            start: place_at,
+        })
+    }
+
+    /// Phase 2 of delivery: retire the reservation and, if this was the last
+    /// in-flight writer of an epoch whose threshold has been reached,
+    /// complete the epoch (paper Fig. 3 step 5).
+    pub(crate) fn deliver_finish(&mut self, reservation: WriteReservation) -> DeliveryOutcome {
+        debug_assert!(self.writers > 0, "finish without begin");
+        self.writers -= 1;
+        if let Some(pos) = self
+            .inflight
+            .iter()
+            .position(|&(s, _)| s == reservation.start)
+        {
+            self.inflight.swap_remove(pos);
+        }
+        if self.closed {
+            // Raced with close(): the copy landed in a buffer nobody will
+            // see. Drop the parked allocation once the last writer is out.
+            if self.writers == 0 {
+                self.draining = None;
+            }
+            return DeliveryOutcome::Accepted;
+        }
+        if self.try_complete() {
             DeliveryOutcome::Completed
         } else {
             DeliveryOutcome::Accepted
         }
     }
 
+    /// Deliver one fragment of an operation, begin-to-finish, under the
+    /// caller's exclusive borrow. This is the single-threaded reference
+    /// semantics for the two-phase pair; the production datapath
+    /// (`RvmaEndpoint::deliver`) always goes through begin/finish so the
+    /// copy can run outside the mailbox lock.
+    ///
+    /// `op_key` identifies the whole operation, `op_total_len` its full byte
+    /// count (fragments of one op share both), `offset` is the byte offset
+    /// into the active buffer (ignored — receiver-assigned — in `Managed`
+    /// mode), and `data` the fragment payload.
+    #[cfg(test)]
+    pub(crate) fn deliver(
+        &mut self,
+        op_key: OpKey,
+        op_total_len: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> DeliveryOutcome {
+        match self.deliver_begin(op_key, op_total_len, offset, data.len()) {
+            BeginOutcome::Done(outcome) => outcome,
+            BeginOutcome::Reserved(reservation) => {
+                // Exclusive borrow: no other writer can exist, so the copy
+                // is race-free even without dropping any lock.
+                unsafe { reservation.fill(data) };
+                self.deliver_finish(reservation)
+            }
+            BeginOutcome::Contended => {
+                unreachable!("overlap with in-flight writer under exclusive borrow")
+            }
+        }
+    }
+
     /// Complete the active buffer *now*, regardless of threshold (paper:
     /// `RVMA_Win_inc_epoch` — hand a partial buffer to software, for
-    /// streams, unknown-size messages, or error recovery).
+    /// streams, unknown-size messages, or error recovery). If fragment
+    /// copies are in flight, completion happens when the last one finishes.
     pub(crate) fn inc_epoch(&mut self) -> Result<()> {
         if self.closed {
             return Err(RvmaError::WindowClosed(self.vaddr));
@@ -224,19 +421,36 @@ impl Mailbox {
         if self.queue.is_empty() {
             return Err(RvmaError::Nacked(NackReason::NoBufferPosted));
         }
-        self.complete_active();
+        self.pending_completion = true;
+        self.try_complete();
         Ok(())
     }
 
+    /// Complete the active epoch iff completion is pending and no writer is
+    /// mid-copy. Returns true when the completion happened here.
+    fn try_complete(&mut self) -> bool {
+        if !self.pending_completion || self.writers > 0 || self.closed {
+            return false;
+        }
+        self.pending_completion = false;
+        self.complete_active();
+        true
+    }
+
     fn complete_active(&mut self) {
+        debug_assert!(
+            self.inflight.is_empty(),
+            "completing with writers in flight"
+        );
         let buf = self.queue.pop_front().expect("active buffer present");
         // Valid length: in steered mode the highest byte written is unknown
         // without per-byte tracking; the hardware writes the *count* of bytes
         // received, which equals the extent for the recommended
         // non-overlapping usage. We mirror that: valid_len = bytes counted,
         // clamped to the buffer.
-        let valid = (self.bytes_this_epoch as usize).min(buf.data.len());
-        let completed = CompletedBuffer::new(buf.data, valid, self.epoch, self.vaddr);
+        let valid = (self.progress.bytes() as usize).min(buf.data.len());
+        let epoch = self.progress.epoch();
+        let completed = CompletedBuffer::new(buf.data, valid, epoch, self.vaddr);
 
         // Retire for rewind, evicting the oldest beyond capacity.
         self.retired.push_back(completed.clone());
@@ -247,19 +461,25 @@ impl Mailbox {
         // The completing write to the completion pointer.
         buf.notify.complete(completed);
 
-        self.epoch += 1;
-        self.bytes_this_epoch = 0;
-        self.ops_this_epoch = 0;
+        self.progress.epoch.fetch_add(1, Ordering::AcqRel);
+        self.progress.bytes.store(0, Ordering::Release);
+        self.progress.ops.store(0, Ordering::Release);
         self.op_progress.clear();
         self.cursor = 0;
     }
 
     /// Close the mailbox (paper: `RVMA_Close_Win`). Subsequent operations
     /// are discarded (optionally NACKed by the endpoint). Queued, never-
-    /// activated buffers are returned to the caller.
+    /// activated buffers are returned to the caller — as is the active
+    /// buffer, unless fragment copies are still in flight into it, in which
+    /// case it is parked and dropped when the last copy finishes.
     pub(crate) fn close(&mut self) -> Vec<Vec<u8>> {
         self.closed = true;
         self.op_progress.clear();
+        self.pending_completion = false;
+        if self.writers > 0 {
+            self.draining = self.queue.pop_front();
+        }
         self.queue.drain(..).map(|b| b.data).collect()
     }
 
@@ -269,7 +489,7 @@ impl Mailbox {
     pub fn rewind(&self, back: u64) -> Result<CompletedBuffer> {
         if back == 0 || back > self.retired.len() as u64 {
             return Err(RvmaError::EpochNotRetained {
-                requested: self.epoch.saturating_sub(back),
+                requested: self.epoch().saturating_sub(back),
                 oldest_retained: self.retired.front().map(CompletedBuffer::epoch),
             });
         }
@@ -561,5 +781,114 @@ mod tests {
                 threshold: 8
             })
         );
+    }
+
+    #[test]
+    fn two_phase_defers_completion_to_last_writer() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        let r1 = match m.deliver_begin(key(1), 8, 0, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("expected reservation"),
+        };
+        let r2 = match m.deliver_begin(key(1), 8, 4, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("expected reservation for disjoint range"),
+        };
+        // Threshold already reached by the counters, but nothing may
+        // complete while copies are in flight.
+        assert_eq!(m.bytes_this_epoch(), 8);
+        assert!(n.poll().is_none());
+        unsafe { r1.fill(&[1; 4]) };
+        assert_eq!(m.deliver_finish(r1), DeliveryOutcome::Accepted);
+        assert!(n.poll().is_none(), "one writer still in flight");
+        unsafe { r2.fill(&[2; 4]) };
+        assert_eq!(m.deliver_finish(r2), DeliveryOutcome::Completed);
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn overlapping_reservation_reports_contended() {
+        let mut m = mb(MailboxMode::Steered);
+        let _n = post(&mut m, 16, Threshold::bytes(16));
+        let r1 = match m.deliver_begin(key(1), 16, 4, 8) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("expected reservation"),
+        };
+        assert!(matches!(
+            m.deliver_begin(key(2), 16, 8, 4),
+            BeginOutcome::Contended
+        ));
+        // Disjoint ranges on either side are fine.
+        let r3 = match m.deliver_begin(key(3), 16, 0, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("disjoint range must not contend"),
+        };
+        unsafe { r1.fill(&[1; 8]) };
+        m.deliver_finish(r1);
+        // The overlapping range is free now.
+        let r2 = match m.deliver_begin(key(2), 16, 8, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("range free after finish"),
+        };
+        unsafe { r2.fill(&[2; 4]) };
+        m.deliver_finish(r2);
+        unsafe { r3.fill(&[3; 4]) };
+        m.deliver_finish(r3);
+    }
+
+    #[test]
+    fn close_with_writer_in_flight_parks_active_buffer() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n1 = post(&mut m, 8, Threshold::bytes(8));
+        let _n2 = post(&mut m, 6, Threshold::bytes(6));
+        let r = match m.deliver_begin(key(1), 4, 0, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("expected reservation"),
+        };
+        let returned = m.close();
+        // Only the queued (never-activated) buffer can be returned; the
+        // active one still has a copy in flight.
+        assert_eq!(returned.len(), 1);
+        assert_eq!(returned[0].len(), 6);
+        assert!(m.is_closed());
+        // The in-flight copy may still land (into the parked buffer)...
+        unsafe { r.fill(&[9; 4]) };
+        assert_eq!(m.deliver_finish(r), DeliveryOutcome::Accepted);
+        // ...but no completion is ever published for it.
+        assert!(n1.poll().is_none());
+        assert_eq!(m.posted_buffers(), 0);
+    }
+
+    #[test]
+    fn inc_epoch_waits_for_inflight_writer() {
+        let mut m = mb(MailboxMode::Steered);
+        let mut n = post(&mut m, 16, Threshold::bytes(16));
+        let r = match m.deliver_begin(key(1), 4, 0, 4) {
+            BeginOutcome::Reserved(r) => r,
+            _ => panic!("expected reservation"),
+        };
+        m.inc_epoch().expect("active buffer exists");
+        assert!(
+            n.poll().is_none(),
+            "completion deferred past in-flight copy"
+        );
+        unsafe { r.fill(&[7; 4]) };
+        assert_eq!(m.deliver_finish(r), DeliveryOutcome::Completed);
+        assert_eq!(n.poll().unwrap().data(), &[7; 4]);
+    }
+
+    #[test]
+    fn progress_handle_tracks_epochs_lock_free() {
+        let mut m = mb(MailboxMode::Steered);
+        let progress = m.progress_handle();
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        m.deliver(key(1), 4, 0, &[1; 4]);
+        assert_eq!(progress.bytes(), 4);
+        assert_eq!(progress.epoch(), 0);
+        m.deliver(key(2), 4, 4, &[2; 4]);
+        assert_eq!(progress.bytes(), 0, "counters reset at completion");
+        assert_eq!(progress.epoch(), 1);
+        assert!(n.poll().is_some());
     }
 }

@@ -1,4 +1,4 @@
-//! Asynchronous in-process transport: a background "wire" thread.
+//! Asynchronous in-process transport: a pool of background "wire" threads.
 //!
 //! [`LoopbackNetwork`](crate::transport::LoopbackNetwork) runs the target
 //! NIC datapath inline on the caller's thread — ideal for tests, but the
@@ -6,19 +6,45 @@
 //! decouples them the way real hardware does:
 //!
 //! * `put` enqueues fragments and **returns immediately**;
-//! * a dedicated wire thread (optionally adding a fixed delivery latency)
-//!   runs the endpoint datapaths, so completion pointers are written from
-//!   *another thread* — the receiver's `Notification::wait` exercises the
-//!   true Monitor/MWait path;
+//! * a pool of wire workers (optionally adding a fixed delivery latency
+//!   per fragment) runs the endpoint datapaths, so completion pointers are
+//!   written from *other threads* — the receiver's `Notification::wait`
+//!   exercises the true Monitor/MWait path;
 //! * NACKs become what they are on a real network: asynchronous
 //!   notifications, collected per initiator via
 //!   [`AsyncInitiator::take_nacks`].
 //!
-//! Dropping the network stops the wire thread after draining in-flight
-//! traffic.
+//! # Threading model
+//!
+//! The pool models a multi-queue NIC. Each worker owns one FIFO queue;
+//! fragments are sharded across queues by a hash of **(destination node,
+//! destination mailbox)**. Two consequences:
+//!
+//! * **Per-mailbox ordering is preserved.** Every fragment addressed to a
+//!   given mailbox traverses the same FIFO queue and is delivered by the
+//!   same worker, so a `Managed`-mode (cursor-append) mailbox observes
+//!   submissions in order even with many workers. Cross-mailbox ordering is
+//!   *not* preserved — by design; RVMA's threshold semantics never needed
+//!   it.
+//! * **Disjoint mailboxes scale.** An N-way incast to N distinct mailboxes
+//!   spreads across min(N, workers) queues; with the sharded LUT and the
+//!   mailbox's copy-outside-the-lock delivery there is no shared lock left
+//!   on the datapath, so workers proceed independently.
+//!
+//! The worker count comes from [`AsyncNetwork::with_options`] (or
+//! [`EndpointConfig::wire_workers`](crate::endpoint::EndpointConfig) via
+//! [`AsyncNetwork::for_endpoint_config`]); [`AsyncNetwork::new`] keeps the
+//! single-worker behaviour.
+//!
+//! [`AsyncNetwork::quiesce`] broadcasts a flush barrier to every queue and
+//! waits for all workers to ack it; because queues are FIFO, every fragment
+//! submitted before the call is delivered when it returns. Dropping the
+//! network enqueues a stop marker *behind* any in-flight traffic on every
+//! queue and joins each worker, so shutdown deterministically drains all
+//! shards — no fragment accepted by `put` is ever dropped by teardown.
 
 use crate::addr::{NodeAddr, VirtAddr};
-use crate::endpoint::{DeliverResult, Fragment, RvmaEndpoint};
+use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::transport::{DeliveryOrder, DEFAULT_MTU};
 use bytes::Bytes;
@@ -28,7 +54,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +65,11 @@ enum WireMsg {
         frag: Fragment,
         nacks: Arc<Mutex<Vec<(VirtAddr, NackReason)>>>,
     },
+    /// Quiesce barrier: the worker bumps the counter when every message
+    /// queued before this one has been processed.
+    Flush {
+        acks: Arc<AtomicUsize>,
+    },
     Stop,
 }
 
@@ -47,71 +78,123 @@ struct Shared {
     mtu: usize,
     order: DeliveryOrder,
     rng: Mutex<StdRng>,
-    tx: Sender<WireMsg>,
+    /// One FIFO queue per wire worker.
+    queues: Vec<Sender<WireMsg>>,
+}
+
+impl Shared {
+    /// Queue index for a fragment: hash of (destination node, destination
+    /// mailbox), so one mailbox's traffic always lands on one FIFO queue.
+    fn queue_for(&self, dest: NodeAddr, vaddr: VirtAddr) -> &Sender<WireMsg> {
+        let key = ((dest.nid as u64) << 32 | dest.pid as u64) ^ vaddr.raw().rotate_left(17);
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.queues[h as usize % self.queues.len()]
+    }
 }
 
 /// The asynchronous in-process network.
 pub struct AsyncNetwork {
     shared: Arc<Shared>,
-    wire: Option<JoinHandle<u64>>,
+    workers: Vec<JoinHandle<u64>>,
 }
 
 impl AsyncNetwork {
-    /// Build a network whose wire thread adds `latency` before each
-    /// fragment's delivery (pass `Duration::ZERO` for none).
+    /// Build a network with a single wire worker that adds `latency` before
+    /// each fragment's delivery (pass `Duration::ZERO` for none).
     pub fn new(mtu: usize, order: DeliveryOrder, latency: Duration) -> AsyncNetwork {
+        Self::with_options(mtu, order, latency, 1)
+    }
+
+    /// Build a network with an explicit wire-worker count. Fragments shard
+    /// across workers by destination mailbox (see the module docs);
+    /// `workers` is clamped to at least 1.
+    pub fn with_options(
+        mtu: usize,
+        order: DeliveryOrder,
+        latency: Duration,
+        workers: usize,
+    ) -> AsyncNetwork {
         assert!(mtu > 0, "MTU must be positive");
+        let workers = workers.max(1);
         let seed = match order {
             DeliveryOrder::OutOfOrder { seed } => seed,
             DeliveryOrder::InOrder => 0,
         };
-        let (tx, rx) = unbounded::<WireMsg>();
+        let mut queues = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = unbounded::<WireMsg>();
+            queues.push(tx);
+            receivers.push(rx);
+        }
         let shared = Arc::new(Shared {
             endpoints: RwLock::new(HashMap::new()),
             mtu,
             order,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            tx,
+            queues,
         });
-        let wire_shared = shared.clone();
-        let wire = std::thread::Builder::new()
-            .name("rvma-wire".into())
-            .spawn(move || {
-                let mut delivered = 0u64;
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        WireMsg::Stop => break,
-                        WireMsg::Deliver { dest, frag, nacks } => {
-                            if !latency.is_zero() {
-                                std::thread::sleep(latency);
-                            }
-                            let ep = wire_shared.endpoints.read().get(&dest).cloned();
-                            match ep {
-                                Some(ep) => {
-                                    if let DeliverResult::Nack(r) = ep.deliver(&frag) {
-                                        nacks.lock().push((frag.dst_vaddr, r));
-                                    }
-                                    delivered += 1;
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rvma-wire-{i}"))
+                    .spawn(move || {
+                        let mut delivered = 0u64;
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                WireMsg::Stop => break,
+                                WireMsg::Flush { acks } => {
+                                    acks.fetch_add(1, Ordering::AcqRel);
                                 }
-                                None => nacks
-                                    .lock()
-                                    .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+                                WireMsg::Deliver { dest, frag, nacks } => {
+                                    if !latency.is_zero() {
+                                        std::thread::sleep(latency);
+                                    }
+                                    let ep = shared.endpoints.read().get(&dest).cloned();
+                                    match ep {
+                                        Some(ep) => {
+                                            if let DeliverResult::Nack(r) = ep.deliver(&frag) {
+                                                nacks.lock().push((frag.dst_vaddr, r));
+                                            }
+                                            delivered += 1;
+                                        }
+                                        None => nacks
+                                            .lock()
+                                            .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+                                    }
+                                }
                             }
                         }
-                    }
-                }
-                delivered
+                        delivered
+                    })
+                    .expect("spawn wire worker")
             })
-            .expect("spawn wire thread");
-        AsyncNetwork {
-            shared,
-            wire: Some(wire),
-        }
+            .collect();
+        AsyncNetwork { shared, workers }
     }
 
-    /// Default: in-order, default MTU, zero added latency.
+    /// Build a network sized from an endpoint configuration's
+    /// [`wire_workers`](EndpointConfig::wire_workers).
+    pub fn for_endpoint_config(
+        mtu: usize,
+        order: DeliveryOrder,
+        latency: Duration,
+        config: &EndpointConfig,
+    ) -> AsyncNetwork {
+        Self::with_options(mtu, order, latency, config.wire_workers)
+    }
+
+    /// Default: in-order, default MTU, zero added latency, one worker.
     pub fn default_network() -> AsyncNetwork {
         AsyncNetwork::new(DEFAULT_MTU, DeliveryOrder::InOrder, Duration::ZERO)
+    }
+
+    /// Number of wire workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.shared.queues.len()
     }
 
     /// Create and attach an endpoint at `addr`.
@@ -139,26 +222,15 @@ impl AsyncNetwork {
         }
     }
 
-    /// Block until every fragment submitted so far has been delivered.
-    /// Implemented as a sentinel round trip through the wire queue.
+    /// Block until every fragment submitted so far has been delivered:
+    /// a flush barrier is broadcast to every worker queue (each is FIFO,
+    /// so the ack implies everything ahead of it was processed).
     pub fn quiesce(&self) {
-        // An empty fragment to a guaranteed-missing endpoint acts as a
-        // barrier: the wire thread processes in FIFO order.
-        let nacks = Arc::new(Mutex::new(Vec::new()));
-        let barrier = Fragment {
-            initiator: NodeAddr::new(u32::MAX, u32::MAX),
-            op_id: 0,
-            dst_vaddr: VirtAddr::new(u64::MAX),
-            op_total_len: 0,
-            offset: 0,
-            data: Bytes::new(),
-        };
-        let _ = self.shared.tx.send(WireMsg::Deliver {
-            dest: NodeAddr::new(u32::MAX, u32::MAX),
-            frag: barrier,
-            nacks: nacks.clone(),
-        });
-        while nacks.lock().is_empty() {
+        let acks = Arc::new(AtomicUsize::new(0));
+        for q in &self.shared.queues {
+            let _ = q.send(WireMsg::Flush { acks: acks.clone() });
+        }
+        while acks.load(Ordering::Acquire) < self.shared.queues.len() {
             std::thread::yield_now();
         }
     }
@@ -166,8 +238,12 @@ impl AsyncNetwork {
 
 impl Drop for AsyncNetwork {
     fn drop(&mut self) {
-        let _ = self.shared.tx.send(WireMsg::Stop);
-        if let Some(h) = self.wire.take() {
+        // A Stop marker lands behind all previously queued traffic on each
+        // FIFO queue, so every shard drains fully before its worker exits.
+        for q in &self.shared.queues {
+            let _ = q.send(WireMsg::Stop);
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -188,12 +264,15 @@ impl AsyncInitiator {
     }
 
     /// Asynchronous `RVMA_Put` at offset 0: enqueue and return. Delivery,
-    /// counting, and completion happen on the wire thread.
+    /// counting, and completion happen on a wire worker.
     pub fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
         self.put_at(dest, vaddr, 0, data)
     }
 
-    /// Asynchronous `RVMA_Put` with an explicit buffer offset.
+    /// Asynchronous `RVMA_Put` with an explicit buffer offset. All
+    /// fragments of the put target one mailbox, hence one worker queue:
+    /// submission order is preserved end-to-end unless the network itself
+    /// is configured `OutOfOrder`.
     pub fn put_at(
         &self,
         dest: NodeAddr,
@@ -237,9 +316,9 @@ impl AsyncInitiator {
         if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
             frags.shuffle(&mut *self.shared.rng.lock());
         }
+        let queue = self.shared.queue_for(dest, vaddr);
         for frag in frags {
-            self.shared
-                .tx
+            queue
                 .send(WireMsg::Deliver {
                     dest,
                     frag,
@@ -260,6 +339,7 @@ impl AsyncInitiator {
 mod tests {
     use super::*;
     use crate::buffer::Threshold;
+    use crate::mailbox::MailboxMode;
 
     #[test]
     fn async_put_completes_cross_thread() {
@@ -274,7 +354,7 @@ mod tests {
             .put(NodeAddr::node(1), VirtAddr::new(5), &[3; 4096])
             .unwrap();
         // The caller returned before delivery; wait() parks until the wire
-        // thread's completing write.
+        // worker's completing write.
         let buf = note.wait();
         assert_eq!(buf.data(), vec![3u8; 4096].as_slice());
     }
@@ -387,5 +467,114 @@ mod tests {
             .put(NodeAddr::node(1), VirtAddr::new(5), &[1; 8])
             .unwrap();
         drop(net); // must not hang
+    }
+
+    #[test]
+    fn worker_pool_fans_out_incast() {
+        // 8 senders to 8 disjoint mailboxes through a 4-worker pool; every
+        // epoch completes with the right bytes.
+        let net = AsyncNetwork::with_options(64, DeliveryOrder::InOrder, Duration::ZERO, 4);
+        assert_eq!(net.worker_count(), 4);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let mut notes = Vec::new();
+        for i in 0..8u64 {
+            let win = server
+                .init_window(VirtAddr::new(i), Threshold::bytes(1024))
+                .unwrap();
+            notes.push(win.post_buffer(vec![0; 1024]).unwrap());
+        }
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let init = net.initiator(NodeAddr::node(i as u32 + 1));
+                s.spawn(move || {
+                    init.put(NodeAddr::node(0), VirtAddr::new(i), &[i as u8 + 1; 1024])
+                        .unwrap();
+                });
+            }
+        });
+        for (i, n) in notes.iter_mut().enumerate() {
+            assert_eq!(n.wait().data(), vec![i as u8 + 1; 1024].as_slice());
+        }
+        assert_eq!(server.stats().epochs_completed, 8);
+    }
+
+    #[test]
+    fn worker_pool_preserves_per_mailbox_ordering() {
+        // A Managed (cursor-append) mailbox is the strictest ordering
+        // consumer: bytes must land in submission order. Eight workers must
+        // not reorder one mailbox's stream, because all its fragments hash
+        // to one FIFO queue.
+        let net = AsyncNetwork::with_options(16, DeliveryOrder::InOrder, Duration::ZERO, 8);
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window_mode(
+                VirtAddr::new(7),
+                Threshold::bytes(256),
+                MailboxMode::Managed,
+            )
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 256]).unwrap();
+        let expected: Vec<u8> = (0..=255u8).collect();
+        // 16 puts of 16 bytes each; each put further fragments at MTU 16.
+        for chunk in expected.chunks(16) {
+            client
+                .put(NodeAddr::node(1), VirtAddr::new(7), chunk)
+                .unwrap();
+        }
+        assert_eq!(note.wait().data(), expected.as_slice());
+    }
+
+    #[test]
+    fn quiesce_flushes_every_worker_queue() {
+        let net = AsyncNetwork::with_options(
+            DEFAULT_MTU,
+            DeliveryOrder::InOrder,
+            Duration::from_micros(200),
+            4,
+        );
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(9));
+        // One put per mailbox so traffic lands on several queues.
+        for i in 0..8u64 {
+            let win = server
+                .init_window(VirtAddr::new(i), Threshold::bytes(32))
+                .unwrap();
+            let _ = win.post_buffer(vec![0; 32]).unwrap();
+            client
+                .put(NodeAddr::node(0), VirtAddr::new(i), &[1; 32])
+                .unwrap();
+        }
+        net.quiesce();
+        assert_eq!(server.stats().epochs_completed, 8);
+    }
+
+    #[test]
+    fn drop_drains_all_shard_queues() {
+        // Queue traffic across a 4-worker pool, then drop immediately: the
+        // Stop markers sit behind the traffic, so every fragment still
+        // delivers before the workers exit.
+        let server;
+        {
+            let net = AsyncNetwork::with_options(
+                DEFAULT_MTU,
+                DeliveryOrder::InOrder,
+                Duration::from_micros(100),
+                4,
+            );
+            server = net.add_endpoint(NodeAddr::node(0));
+            let client = net.initiator(NodeAddr::node(9));
+            for i in 0..8u64 {
+                let win = server
+                    .init_window(VirtAddr::new(i), Threshold::bytes(16))
+                    .unwrap();
+                let _ = win.post_buffer(vec![0; 16]).unwrap();
+                client
+                    .put(NodeAddr::node(0), VirtAddr::new(i), &[2; 16])
+                    .unwrap();
+            }
+            // net dropped here with fragments still queued.
+        }
+        assert_eq!(server.stats().epochs_completed, 8);
     }
 }

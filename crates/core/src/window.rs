@@ -10,7 +10,7 @@ use crate::addr::VirtAddr;
 use crate::buffer::{CompletedBuffer, PostedBuffer, Threshold};
 use crate::endpoint::RvmaEndpoint;
 use crate::error::Result;
-use crate::mailbox::Mailbox;
+use crate::mailbox::{EpochProgress, Mailbox};
 use crate::notify::{Notification, NotificationSlot};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -133,6 +133,14 @@ impl Window {
     /// from the application.
     pub fn bytes_in_progress(&self) -> u64 {
         self.mailbox.lock().bytes_this_epoch()
+    }
+
+    /// A lock-free handle to the mailbox's epoch-progress counters (bytes,
+    /// ops, epoch). Polling it never touches the mailbox lock, so an
+    /// application can watch threshold progress without perturbing the
+    /// delivery datapath.
+    pub fn progress(&self) -> Arc<EpochProgress> {
+        self.mailbox.lock().progress_handle()
     }
 }
 

@@ -1,0 +1,189 @@
+//! Multi-threaded stress of the sharded datapath: many senders through
+//! `AsyncNetwork` worker pools, to disjoint and to shared mailboxes.
+//!
+//! Invariants checked:
+//! * no lost bytes — every completed buffer carries exactly the payload the
+//!   senders submitted;
+//! * no double completions — epochs advance exactly once per threshold, and
+//!   endpoint stats agree with the submitted totals;
+//! * per-mailbox ordering survives the worker pool (Managed-mode stream).
+
+use rvma::core::transport::DeliveryOrder;
+use rvma::core::{AsyncNetwork, MailboxMode, NodeAddr, Threshold, VirtAddr};
+use std::time::Duration;
+
+const SENDERS: usize = 8;
+
+/// 8 senders, each with its own mailbox, racing through a 4-worker pool:
+/// every byte lands, every epoch completes exactly once.
+#[test]
+fn disjoint_mailboxes_lose_nothing() {
+    const PUTS: usize = 16;
+    const MSG: usize = 2048;
+    let net = AsyncNetwork::with_options(256, DeliveryOrder::InOrder, Duration::ZERO, 4);
+    let server = net.add_endpoint(NodeAddr::node(0));
+
+    let mut notes = Vec::new();
+    for i in 0..SENDERS {
+        let win = server
+            .init_window(VirtAddr::new(i as u64), Threshold::bytes(MSG as u64))
+            .unwrap();
+        notes.push(win.post_buffers(vec![vec![0u8; MSG]; PUTS]).unwrap());
+    }
+
+    std::thread::scope(|s| {
+        for i in 0..SENDERS {
+            let init = net.initiator(NodeAddr::node(i as u32 + 1));
+            s.spawn(move || {
+                for p in 0..PUTS {
+                    // Payload identifies (sender, put) so corruption or
+                    // cross-delivery is detectable.
+                    let payload = vec![(i * PUTS + p) as u8; MSG];
+                    init.put(NodeAddr::node(0), VirtAddr::new(i as u64), &payload)
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    for (i, sender_notes) in notes.iter_mut().enumerate() {
+        for (p, n) in sender_notes.iter_mut().enumerate() {
+            let buf = n.wait();
+            assert_eq!(buf.epoch(), p as u64, "double or skipped completion");
+            assert_eq!(
+                buf.data(),
+                vec![(i * PUTS + p) as u8; MSG].as_slice(),
+                "lost or corrupted bytes (sender {i}, put {p})"
+            );
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.epochs_completed, (SENDERS * PUTS) as u64);
+    assert_eq!(stats.bytes_accepted, (SENDERS * PUTS * MSG) as u64);
+    assert_eq!(stats.fragments_discarded, 0);
+}
+
+/// 8 senders converging on ONE shared mailbox at disjoint offsets, through
+/// an 8-worker pool: the copies overlap outside the mailbox lock, yet the
+/// epoch completes exactly once with every region intact.
+#[test]
+fn shared_mailbox_disjoint_offsets() {
+    const REGION: usize = 4096; // per-sender slice of the shared buffer
+    let net = AsyncNetwork::with_options(512, DeliveryOrder::InOrder, Duration::ZERO, 8);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let win = server
+        .init_window(
+            VirtAddr::new(42),
+            Threshold::bytes((SENDERS * REGION) as u64),
+        )
+        .unwrap();
+    let mut note = win.post_buffer(vec![0u8; SENDERS * REGION]).unwrap();
+
+    std::thread::scope(|s| {
+        for i in 0..SENDERS {
+            let init = net.initiator(NodeAddr::node(i as u32 + 1));
+            s.spawn(move || {
+                // Each sender fills its region with 4 puts of REGION/4.
+                let step = REGION / 4;
+                for k in 0..4 {
+                    let payload = vec![i as u8 + 1; step];
+                    init.put_at(
+                        NodeAddr::node(0),
+                        VirtAddr::new(42),
+                        i * REGION + k * step,
+                        &payload,
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+
+    let buf = note.wait();
+    for i in 0..SENDERS {
+        assert_eq!(
+            &buf.data()[i * REGION..(i + 1) * REGION],
+            vec![i as u8 + 1; REGION].as_slice(),
+            "sender {i}'s region lost bytes"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.epochs_completed, 1, "double completion");
+    assert_eq!(stats.bytes_accepted, (SENDERS * REGION) as u64);
+}
+
+/// Mixed workload: half the senders hammer a shared op-counted mailbox,
+/// half stream to private mailboxes, across a 4-worker pool.
+#[test]
+fn mixed_shared_and_private_mailboxes() {
+    const OPS_PER_SENDER: usize = 32;
+    let net = AsyncNetwork::with_options(128, DeliveryOrder::InOrder, Duration::ZERO, 4);
+    let server = net.add_endpoint(NodeAddr::node(0));
+
+    // Shared mailbox completes on an op count from 4 writers.
+    let shared_total = 4 * OPS_PER_SENDER;
+    let shared = server
+        .init_window(VirtAddr::new(100), Threshold::ops(shared_total as u64))
+        .unwrap();
+    let mut shared_note = shared.post_buffer(vec![0u8; shared_total * 16]).unwrap();
+
+    // Private mailboxes complete on bytes.
+    let mut private_notes = Vec::new();
+    for i in 0..4u64 {
+        let win = server
+            .init_window(VirtAddr::new(i), Threshold::bytes(1024))
+            .unwrap();
+        private_notes.push(win.post_buffer(vec![0u8; 1024]).unwrap());
+    }
+
+    std::thread::scope(|s| {
+        for i in 0..4usize {
+            // Shared-mailbox writers, disjoint 16-byte slots.
+            let init = net.initiator(NodeAddr::node(i as u32 + 1));
+            s.spawn(move || {
+                for k in 0..OPS_PER_SENDER {
+                    let slot = (i * OPS_PER_SENDER + k) * 16;
+                    init.put_at(NodeAddr::node(0), VirtAddr::new(100), slot, &[0xAB; 16])
+                        .unwrap();
+                }
+            });
+            // Private-mailbox writers.
+            let init = net.initiator(NodeAddr::node(i as u32 + 10));
+            s.spawn(move || {
+                init.put(NodeAddr::node(0), VirtAddr::new(i as u64), &[i as u8; 1024])
+                    .unwrap();
+            });
+        }
+    });
+
+    let buf = shared_note.wait();
+    assert!(buf.data().iter().all(|&b| b == 0xAB), "lost shared bytes");
+    for (i, n) in private_notes.iter_mut().enumerate() {
+        assert_eq!(n.wait().data(), vec![i as u8; 1024].as_slice());
+    }
+    assert_eq!(server.stats().epochs_completed, 5);
+}
+
+/// Ordering stress: a Managed (cursor-append) stream must arrive in
+/// submission order even through the widest pool.
+#[test]
+fn managed_stream_order_survives_worker_pool() {
+    let net = AsyncNetwork::with_options(32, DeliveryOrder::InOrder, Duration::ZERO, 8);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let client = net.initiator(NodeAddr::node(1));
+    let win = server
+        .init_window_mode(
+            VirtAddr::new(7),
+            Threshold::bytes(4096),
+            MailboxMode::Managed,
+        )
+        .unwrap();
+    let mut note = win.post_buffer(vec![0u8; 4096]).unwrap();
+    let expected: Vec<u8> = (0..4096usize).map(|i| (i / 64) as u8).collect();
+    for chunk in expected.chunks(64) {
+        client
+            .put(NodeAddr::node(0), VirtAddr::new(7), chunk)
+            .unwrap();
+    }
+    assert_eq!(note.wait().data(), expected.as_slice());
+}

@@ -1,4 +1,4 @@
-//! Property-based tests of the RVMA core invariants (DESIGN.md §6).
+//! Property-based tests of the RVMA core invariants (DESIGN.md §7).
 
 use proptest::collection::vec;
 use proptest::prelude::*;

@@ -1,0 +1,347 @@
+//! Offline shim for `proptest`: the macro + strategy subset this workspace
+//! uses. Cases are generated from a fixed-seed deterministic RNG and run
+//! `ProptestConfig::cases` times; there is NO shrinking and NO failure
+//! persistence — a failing case panics with the assertion message only.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleUniform, SeedableRng};
+
+/// Deterministic RNG driving all strategies in one test fn.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Fixed-seed generator: every run of a test sees the same case stream.
+    pub fn deterministic() -> Self {
+        TestRng(StdRng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts with this message.
+    Fail(String),
+    /// A `prop_assume!` filtered the case out; the run continues.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected-assumption marker.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test fn.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Unlike upstream there is no value tree: `generate`
+/// yields a plain value and failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Strategy wrapping a closure; used by `prop_compose!`.
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's full domain.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::SampleUniform;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = usize::sample_range(rng, self.size.start, self.size.end);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is uniform in `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+        Arbitrary, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Define `#[test]` fns over generated inputs. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(arg in strategy, ...)`
+/// items, mirroring upstream's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Define a named strategy fn from sub-strategies (upstream's surface form).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($params:tt)*)($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |__rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Assert inside a proptest body; on failure returns `TestCaseError::Fail`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: `{:?}` != `{:?}`",
+                __left, __right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed: both `{:?}`",
+                __left
+            )));
+        }
+    }};
+}
+
+/// Skip cases violating a precondition (counts toward `cases` here, unlike
+/// upstream which resamples).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(a in 1u64..10, b in 10u64..20) -> (u64, u64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, v in vec(1usize..64, 1..12)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert!(v.iter().all(|&e| (1..64).contains(&e)));
+        }
+
+        #[test]
+        fn composed_strategy_and_assume(p in pair(), any_u in any::<u64>()) {
+            prop_assume!(p.0 != 5);
+            prop_assert!(p.0 < p.1, "pair ordered: {:?}", p);
+            prop_assert_eq!(any_u, any_u);
+            prop_assert_ne!(p.0, p.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = crate::TestRng::deterministic();
+        let mut b = crate::TestRng::deterministic();
+        let sa: Vec<u64> = (0..8)
+            .map(|_| crate::Strategy::generate(&(0u64..100), &mut a))
+            .collect();
+        let sb: Vec<u64> = (0..8)
+            .map(|_| crate::Strategy::generate(&(0u64..100), &mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -10,6 +10,7 @@
 use crate::addr::VirtAddr;
 use crate::error::{Result, RvmaError};
 use crate::notify::NotificationSlot;
+use crate::pool::BufferPool;
 use std::fmt;
 use std::sync::Arc;
 
@@ -75,6 +76,9 @@ pub(crate) struct PostedBuffer {
     pub(crate) data: Vec<u8>,
     pub(crate) threshold: Threshold,
     pub(crate) notify: Arc<NotificationSlot>,
+    /// Pool the allocation returns to when the completed buffer's last
+    /// owner drops it (None = caller keeps ownership, the seed behaviour).
+    pub(crate) pool: Option<Arc<BufferPool>>,
 }
 
 impl PostedBuffer {
@@ -83,6 +87,21 @@ impl PostedBuffer {
             data,
             threshold,
             notify,
+            pool: None,
+        }
+    }
+
+    pub(crate) fn pooled(
+        data: Vec<u8>,
+        threshold: Threshold,
+        notify: Arc<NotificationSlot>,
+        pool: Arc<BufferPool>,
+    ) -> Self {
+        PostedBuffer {
+            data,
+            threshold,
+            notify,
+            pool: Some(pool),
         }
     }
 }
@@ -114,10 +133,34 @@ struct CompletedInner {
     valid_len: usize,
     epoch: u64,
     vaddr: VirtAddr,
+    /// Destination of the allocation when the last owner drops.
+    pool: Option<Arc<BufferPool>>,
+}
+
+impl Drop for CompletedInner {
+    fn drop(&mut self) {
+        // Last-owner recycling: by the time the inner drops, the
+        // notification holder, the retired ring, and every rewind clone are
+        // gone, so nothing can still observe the bytes.
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.data));
+        }
+    }
 }
 
 impl CompletedBuffer {
+    #[cfg(test)]
     pub(crate) fn new(data: Vec<u8>, valid_len: usize, epoch: u64, vaddr: VirtAddr) -> Self {
+        Self::with_pool(data, valid_len, epoch, vaddr, None)
+    }
+
+    pub(crate) fn with_pool(
+        data: Vec<u8>,
+        valid_len: usize,
+        epoch: u64,
+        vaddr: VirtAddr,
+        pool: Option<Arc<BufferPool>>,
+    ) -> Self {
         debug_assert!(valid_len <= data.len());
         CompletedBuffer {
             inner: Arc::new(CompletedInner {
@@ -125,6 +168,7 @@ impl CompletedBuffer {
                 valid_len,
                 epoch,
                 vaddr,
+                pool,
             }),
         }
     }
@@ -163,9 +207,13 @@ impl CompletedBuffer {
     /// Reclaim the underlying allocation for reuse (e.g. to re-post it).
     /// Succeeds only when this is the last reference — i.e. the retired ring
     /// has dropped it and no other clone exists; otherwise returns `self`.
+    /// Reclaiming takes precedence over the buffer's pool, if it has one.
     pub fn try_into_vec(self) -> std::result::Result<Vec<u8>, CompletedBuffer> {
         match Arc::try_unwrap(self.inner) {
-            Ok(inner) => Ok(inner.data),
+            Ok(mut inner) => {
+                inner.pool = None;
+                Ok(std::mem::take(&mut inner.data))
+            }
             Err(inner) => Err(CompletedBuffer { inner }),
         }
     }
@@ -241,6 +289,23 @@ mod tests {
         drop(clone);
         let v = cb.try_into_vec().unwrap();
         assert_eq!(v, vec![5; 4]);
+    }
+
+    #[test]
+    fn pooled_buffer_recycles_on_last_drop() {
+        let pool = Arc::new(BufferPool::new());
+        let cb =
+            CompletedBuffer::with_pool(vec![1; 32], 32, 0, VirtAddr::new(1), Some(pool.clone()));
+        let clone = cb.clone();
+        drop(cb);
+        assert_eq!(pool.stats().shelved, 0, "a clone still owns the bytes");
+        drop(clone);
+        assert_eq!(pool.stats().shelved, 1, "last drop returns the allocation");
+        // try_into_vec steals the allocation away from the pool instead.
+        let cb = CompletedBuffer::with_pool(vec![2; 8], 8, 0, VirtAddr::new(1), Some(pool.clone()));
+        let v = cb.try_into_vec().unwrap();
+        assert_eq!(v, vec![2; 8]);
+        assert_eq!(pool.stats().shelved, 1);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod mailbox;
 pub mod matching;
 pub mod mpix;
 pub mod notify;
+pub mod pool;
 pub mod transport;
 pub mod transport_lossy;
 pub mod transport_threaded;
@@ -75,7 +76,10 @@ pub use mailbox::{EpochProgress, Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
 pub use matching::{MatchEntry, MatchList, MatchStats, ANY_SOURCE};
 pub use mpix::MpixWindow;
 pub use notify::{wait_all, wait_any, Notification, NotificationSlot};
+pub use pool::{BufferPool, PayloadPool, PoolStats};
 pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
 pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork};
-pub use transport_threaded::{AsyncInitiator, AsyncNetwork};
+pub use transport_threaded::{
+    AsyncInitiator, AsyncNetwork, PutBatch, RouteStats, DEFAULT_DOORBELL_FRAGS,
+};
 pub use window::Window;

@@ -350,6 +350,134 @@ impl Mailbox {
         })
     }
 
+    /// Deliver a run of fragments begin-to-finish in one call, bypassing
+    /// the two-phase reservation machinery. Only valid when no reservation
+    /// is outstanding (`writers == 0`): under that condition the caller's
+    /// exclusive borrow is the only writer, so every copy goes straight
+    /// into the active buffer through safe code — no writer count, no
+    /// in-flight range tracking, no raw-pointer reservations, and no
+    /// overlap scans (the in-flight list is necessarily empty). This is
+    /// the batched datapath's fast path: the wire-worker pool shards by
+    /// mailbox, so a worker delivering a batch under the mailbox lock
+    /// meets this condition on every fragment.
+    ///
+    /// Being the sole writer also makes the shared progress counters
+    /// single-writer for the duration, so the run accumulates byte/op
+    /// counts in locals and publishes them as **one atomic add per counter
+    /// per run** instead of per fragment — except at an epoch boundary,
+    /// where the pending deltas are published first (`complete_active`
+    /// computes the buffer's valid length from the shared counters).
+    /// Readers of the counters ([`EpochProgress`] pacing) see bounded
+    /// staleness: at most one run (≤ one batch chunk) of puts.
+    ///
+    /// Each fragment's outcome is reported through `on_outcome` together
+    /// with its payload length. Returns `false` without consuming anything
+    /// when a reservation *is* outstanding; the caller must fall back to
+    /// `deliver_begin`/`deliver_finish` (which also handles contention
+    /// against that reservation's range).
+    pub(crate) fn deliver_run_exclusive<'f>(
+        &mut self,
+        frags: impl Iterator<Item = (OpKey, u64, usize, &'f [u8])>,
+        on_outcome: &mut dyn FnMut(DeliveryOutcome, usize),
+    ) -> bool {
+        if self.writers != 0 {
+            return false;
+        }
+        debug_assert!(self.inflight.is_empty(), "inflight range without writer");
+        let mut bytes_local = self.progress.bytes();
+        let mut ops_local = self.progress.ops();
+        let (mut bytes_delta, mut ops_delta) = (0u64, 0u64);
+        for (op_key, op_total_len, offset, data) in frags {
+            if self.closed {
+                on_outcome(
+                    DeliveryOutcome::Discarded(NackReason::WindowClosed),
+                    data.len(),
+                );
+                continue;
+            }
+            // One front_mut lookup per fragment; `cursor` is a disjoint
+            // field, so updating it while the active borrow lives is fine.
+            let Some(active) = self.queue.front_mut() else {
+                on_outcome(
+                    DeliveryOutcome::Discarded(NackReason::NoBufferPosted),
+                    data.len(),
+                );
+                continue;
+            };
+            let threshold = active.threshold;
+            let place_at = match self.mode {
+                MailboxMode::Steered => offset,
+                MailboxMode::Managed => self.cursor,
+            };
+            let end = match place_at.checked_add(data.len()) {
+                Some(e) if e <= active.data.len() => e,
+                _ => {
+                    on_outcome(
+                        DeliveryOutcome::Discarded(NackReason::OutOfBounds),
+                        data.len(),
+                    );
+                    continue;
+                }
+            };
+            if self.mode == MailboxMode::Managed {
+                self.cursor = end;
+            }
+            if !data.is_empty() {
+                active.data[place_at..end].copy_from_slice(data);
+            }
+            bytes_local += data.len() as u64;
+            bytes_delta += data.len() as u64;
+            if data.len() as u64 >= op_total_len {
+                ops_local += 1;
+                ops_delta += 1;
+            } else {
+                // Multi-fragment op: rare on this path. Publish pending
+                // deltas so the shared per-op bookkeeping stays exact.
+                self.flush_progress(&mut bytes_delta, &mut ops_delta);
+                let got = self.op_progress.entry(op_key).or_insert(0);
+                *got += data.len() as u64;
+                if *got >= op_total_len {
+                    self.op_progress.remove(&op_key);
+                    self.progress.ops.fetch_add(1, Ordering::AcqRel);
+                    ops_local += 1;
+                }
+            }
+            let reached = match threshold.ty {
+                EpochType::Bytes => bytes_local >= threshold.count,
+                EpochType::Ops => ops_local >= threshold.count,
+            };
+            if reached {
+                self.flush_progress(&mut bytes_delta, &mut ops_delta);
+                self.pending_completion = true;
+                if self.try_complete() {
+                    on_outcome(DeliveryOutcome::Completed, data.len());
+                    // Completion reset the counters for the next epoch.
+                    bytes_local = self.progress.bytes();
+                    ops_local = self.progress.ops();
+                    continue;
+                }
+            }
+            on_outcome(DeliveryOutcome::Accepted, data.len());
+        }
+        self.flush_progress(&mut bytes_delta, &mut ops_delta);
+        true
+    }
+
+    /// Publish locally accumulated progress deltas (see
+    /// [`deliver_run_exclusive`](Self::deliver_run_exclusive)).
+    fn flush_progress(&self, bytes_delta: &mut u64, ops_delta: &mut u64) {
+        if *bytes_delta > 0 {
+            self.progress
+                .bytes
+                .fetch_add(std::mem::take(bytes_delta), Ordering::AcqRel);
+        }
+        if *ops_delta > 0 {
+            self.progress
+                .ops
+                .fetch_add(std::mem::take(ops_delta), Ordering::AcqRel);
+        }
+    }
+
     /// Phase 2 of delivery: retire the reservation and, if this was the last
     /// in-flight writer of an epoch whose threshold has been reached,
     /// complete the epoch (paper Fig. 3 step 5).
@@ -450,7 +578,7 @@ impl Mailbox {
         // clamped to the buffer.
         let valid = (self.progress.bytes() as usize).min(buf.data.len());
         let epoch = self.progress.epoch();
-        let completed = CompletedBuffer::new(buf.data, valid, epoch, self.vaddr);
+        let completed = CompletedBuffer::with_pool(buf.data, valid, epoch, self.vaddr, buf.pool);
 
         // Retire for rewind, evicting the oldest beyond capacity.
         self.retired.push_back(completed.clone());

@@ -1,0 +1,331 @@
+//! Buffer pools for the allocation-light submission path.
+//!
+//! Two recycling stores keep the high-rate small-message path off the
+//! allocator:
+//!
+//! * [`PayloadPool`] — initiator side. Every `put` must copy the caller's
+//!   payload into storage that outlives the call (the fragment travels to a
+//!   wire worker asynchronously). Instead of a fresh `Arc<[u8]>` per put,
+//!   the pool shelves a bounded set of allocations and reuses any that no
+//!   in-flight fragment still references, handing out zero-copy
+//!   [`Bytes`] views over them. Payloads of at most [`bytes::INLINE_CAP`]
+//!   bytes skip even that: they travel inline in the `Bytes` handle, with
+//!   no allocation or refcount at all.
+//! * [`BufferPool`] — receiver side. Epoch buffers posted through
+//!   [`Window::post_pooled`](crate::window::Window::post_pooled) return
+//!   their allocation to the pool automatically when the **last** owner of
+//!   the completed buffer drops it (notification holder, retired-ring
+//!   entry, rewind clones — whoever is last), so steady-state post → fill →
+//!   complete → re-post cycles allocate nothing.
+//!
+//! Ownership rule: a pool never hands out storage that anything else can
+//! still observe. `PayloadPool` proves uniqueness with `Arc::get_mut`
+//! (the shelf holds the only reference); `BufferPool` receives allocations
+//! only from `CompletedBuffer`'s last-drop hook or an explicit
+//! [`BufferPool::recycle`]. Both are bounded: beyond
+//! [`MAX_SHELF`] entries, retiring allocations are simply freed.
+//!
+//! Hit/miss counters are exposed via [`PoolStats`]; the acceptance test for
+//! the batched submission path asserts a 100 % hit rate in steady state.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum allocations a [`BufferPool`] retains; beyond this, retiring
+/// buffers drop. Epoch buffers are large, so the cap is kept tight.
+pub const MAX_SHELF: usize = 64;
+
+/// Maximum allocations a [`PayloadPool`] retains. Payload classes are
+/// small (a few KiB at most) and the shelf only grows on a miss, so it
+/// converges to the initiator's peak number of in-flight fragments; the
+/// cap must exceed a deep submission pipeline or every acquire under load
+/// degenerates to probe-then-allocate.
+pub const PAYLOAD_SHELF: usize = 2048;
+
+/// Smallest payload allocation class (bytes). Small puts share one class so
+/// a 32 B and a 56 B put reuse the same shelf entries. (Payloads at or
+/// below [`bytes::INLINE_CAP`] never reach the shelf at all — they ride
+/// inline in the `Bytes` handle.)
+const MIN_CLASS: usize = 64;
+
+/// Shelf entries probed per [`PayloadPool::acquire`]. Bounded so a deep
+/// submission pipeline (every shelved allocation still in flight) costs a
+/// few refcount checks per put, not a full shelf scan; the rotating cursor
+/// spreads the probes so freed entries are still found promptly.
+const MAX_PROBES: usize = 8;
+
+/// Point-in-time counters of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Acquisitions served by reusing a shelved allocation.
+    pub hits: u64,
+    /// Acquisitions that had to allocate fresh storage.
+    pub misses: u64,
+    /// Acquisitions served inline in the `Bytes` handle itself — no
+    /// allocation and no shelf traffic (payloads of at most
+    /// [`bytes::INLINE_CAP`] bytes).
+    pub inline: u64,
+    /// Allocations currently shelved.
+    pub shelved: usize,
+}
+
+impl PoolStats {
+    /// Allocation-free acquisitions (shelf reuse + inline) as a fraction of
+    /// all acquisitions (1.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.inline + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            (self.hits + self.inline) as f64 / total as f64
+        }
+    }
+}
+
+/// Recycles the `Arc<[u8]>` allocations backing fragment payloads.
+///
+/// `acquire` copies the caller's bytes into a shelved allocation when one
+/// is free (unique) and large enough, otherwise allocates a
+/// power-of-two-class buffer and shelves it for next time. The returned
+/// [`Bytes`] shares the allocation; it becomes reusable again once every
+/// fragment slice of it has been dropped by the wire workers.
+#[derive(Debug, Default)]
+pub struct PayloadPool {
+    shelf: Mutex<PayloadShelf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inline: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct PayloadShelf {
+    entries: Vec<Arc<[u8]>>,
+    /// Rotating probe start so consecutive acquires don't re-check the
+    /// same in-flight entries.
+    cursor: usize,
+}
+
+impl PayloadPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `data` into pooled storage and return it as `Bytes`.
+    pub fn acquire(&self, data: &[u8]) -> Bytes {
+        if data.len() <= bytes::INLINE_CAP {
+            // Tiny payloads ride inline in the `Bytes` handle: no
+            // allocation, no refcount, and no shelf lock. This is the
+            // hottest case on the small-message path.
+            if !data.is_empty() {
+                self.inline.fetch_add(1, Ordering::Relaxed);
+            }
+            return Bytes::copy_from_slice(data);
+        }
+        let mut shelf = self.shelf.lock();
+        let n = shelf.entries.len();
+        let start = shelf.cursor;
+        for p in 0..n.min(MAX_PROBES) {
+            let i = (start + p) % n;
+            let arc = &mut shelf.entries[i];
+            if arc.len() < data.len() {
+                continue;
+            }
+            // Unique means no in-flight fragment still references it: the
+            // shelf holds the only count, so overwriting is race-free.
+            if let Some(buf) = Arc::get_mut(arc) {
+                buf[..data.len()].copy_from_slice(data);
+                let out = Bytes::from_shared(arc.clone(), data.len());
+                shelf.cursor = (i + 1) % n;
+                drop(shelf);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return out;
+            }
+        }
+        if n > 0 {
+            shelf.cursor = (start + n.min(MAX_PROBES)) % n;
+        }
+        // Miss: allocate a class-sized buffer so differently-sized puts can
+        // share shelf entries, copy, and shelve it (bounded).
+        let class = data.len().next_power_of_two().max(MIN_CLASS);
+        let mut arc: Arc<[u8]> = Arc::from(vec![0u8; class]);
+        Arc::get_mut(&mut arc).expect("fresh allocation is unique")[..data.len()]
+            .copy_from_slice(data);
+        let out = Bytes::from_shared(arc.clone(), data.len());
+        if shelf.entries.len() < PAYLOAD_SHELF {
+            shelf.entries.push(arc);
+        }
+        drop(shelf);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inline: self.inline.load(Ordering::Relaxed),
+            shelved: self.shelf.lock().entries.len(),
+        }
+    }
+}
+
+/// Recycles the `Vec<u8>` allocations backing receiver epoch buffers.
+///
+/// Buffers enter through [`recycle`](BufferPool::recycle) (called
+/// automatically by the last drop of a pooled
+/// [`CompletedBuffer`](crate::buffer::CompletedBuffer)) and leave through
+/// [`take`](BufferPool::take), zeroed to the requested length.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    shelf: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of exactly `len` bytes, reusing a shelved allocation
+    /// with sufficient capacity when one exists.
+    pub fn take(&self, len: usize) -> Vec<u8> {
+        let reused = {
+            let mut shelf = self.shelf.lock();
+            shelf
+                .iter()
+                .position(|v| v.capacity() >= len)
+                .map(|i| shelf.swap_remove(i))
+        };
+        match reused {
+            Some(mut v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Return an allocation to the shelf (dropped if the shelf is full or
+    /// the allocation is empty).
+    pub fn recycle(&self, v: Vec<u8>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        let mut shelf = self.shelf.lock();
+        if shelf.len() < MAX_SHELF {
+            shelf.push(v);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inline: 0,
+            shelved: self.shelf.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_pool_reuses_when_unique() {
+        let pool = PayloadPool::new();
+        let b1 = pool.acquire(&[1; 32]);
+        assert_eq!(pool.stats().misses, 1);
+        // Still referenced: the next acquire must not reuse it.
+        let b2 = pool.acquire(&[2; 32]);
+        assert_eq!(pool.stats().misses, 2);
+        assert_eq!(&b1[..], &[1; 32]);
+        drop(b1);
+        drop(b2);
+        // Both shelved allocations are free now.
+        let b3 = pool.acquire(&[3; 32]);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(&b3[..], &[3; 32]);
+        assert_eq!(pool.stats().shelved, 2);
+    }
+
+    #[test]
+    fn payload_pool_size_classes_share_entries() {
+        let pool = PayloadPool::new();
+        drop(pool.acquire(&[7; 32]));
+        // 32 B and 56 B both fall in the 64 B minimum class.
+        let b = pool.acquire(&[9; 56]);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(&b[..], &[9; 56]);
+    }
+
+    #[test]
+    fn payload_pool_tiny_payload_is_inline() {
+        // At or below the inline cap, acquisition bypasses the shelf
+        // entirely: no allocation, nothing shelved, counted separately.
+        let pool = PayloadPool::new();
+        let b = pool.acquire(&[5; bytes::INLINE_CAP]);
+        assert_eq!(&b[..], &[5; bytes::INLINE_CAP]);
+        let stats = pool.stats();
+        assert_eq!((stats.inline, stats.hits, stats.misses), (1, 0, 0));
+        assert_eq!(stats.shelved, 0);
+        assert_eq!(stats.hit_rate(), 1.0);
+        // One past the cap takes the pooled path.
+        drop(b);
+        drop(pool.acquire(&[6; bytes::INLINE_CAP + 1]));
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().shelved, 1);
+    }
+
+    #[test]
+    fn payload_pool_empty_payload_skips_pool() {
+        let pool = PayloadPool::new();
+        let b = pool.acquire(&[]);
+        assert!(b.is_empty());
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert_eq!(pool.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn buffer_pool_roundtrip_zeroes() {
+        let pool = BufferPool::new();
+        let mut v = pool.take(8);
+        assert_eq!(pool.stats().misses, 1);
+        v.copy_from_slice(&[9; 8]);
+        pool.recycle(v);
+        let v2 = pool.take(4);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(v2, vec![0; 4], "reused storage must come back zeroed");
+    }
+
+    #[test]
+    fn buffer_pool_capacity_miss_allocates() {
+        let pool = BufferPool::new();
+        pool.recycle(vec![0; 4]);
+        let v = pool.take(16);
+        assert_eq!(v.len(), 16);
+        assert_eq!(pool.stats().misses, 1);
+        assert_eq!(pool.stats().shelved, 1, "small buffer stays shelved");
+    }
+
+    #[test]
+    fn shelves_are_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..(MAX_SHELF + 10) {
+            pool.recycle(vec![0; 8]);
+        }
+        assert_eq!(pool.stats().shelved, MAX_SHELF);
+    }
+}

@@ -36,6 +36,36 @@
 //! [`AsyncNetwork::for_endpoint_config`]); [`AsyncNetwork::new`] keeps the
 //! single-worker behaviour.
 //!
+//! # Submission path
+//!
+//! The initiator side is batched and allocation-light, which is what makes
+//! high small-message rates possible (the initiator-side analogue of the
+//! paper's receive-side amortization, Fig. 6):
+//!
+//! * **Route cache.** Each initiator keeps a small lock-free cache of
+//!   (destination, mailbox) → worker-queue routes, validated against the
+//!   network's endpoint **generation counter** (bumped by
+//!   `add_endpoint`/`register`/`remove_endpoint`). A steady-state `put`
+//!   touches no `RwLock` and never re-hashes the shard; only a cache miss
+//!   consults the endpoint table (and fails fast with
+//!   [`RvmaError::UnknownDestination`]).
+//! * **Inline fast path.** A put of at most one MTU skips the fragment
+//!   loop entirely: one pooled payload copy, one [`Fragment`], one channel
+//!   send — no intermediate `Vec`, no shuffle, no per-fragment `Arc`
+//!   clones.
+//! * **Payload pool.** Fragment payload storage is recycled through a
+//!   per-initiator [`PayloadPool`]: the copy every asynchronous put must
+//!   make lands in a reused allocation once the pool is warm
+//!   ([`AsyncInitiator::pool_stats`]).
+//! * **Doorbell batching.** A multi-fragment put crosses the channel as a
+//!   single `WireMsg` batch per (put × worker shard) instead of one send
+//!   per fragment, and [`AsyncInitiator::batch`] coalesces *many* puts
+//!   into one crossing, flushed explicitly or by an auto-flush doorbell
+//!   threshold. Wire workers deliver batches through
+//!   [`RvmaEndpoint::deliver_batch`], which amortizes LUT lookups, mailbox
+//!   lock acquisitions, stats updates — and NACK publication: one sink
+//!   lock per batch, not per fragment.
+//!
 //! [`AsyncNetwork::quiesce`] broadcasts a flush barrier to every queue and
 //! waits for all workers to ack it; because queues are FIFO, every fragment
 //! submitted before the call is delivered when it returns. Dropping the
@@ -46,6 +76,7 @@
 use crate::addr::{NodeAddr, VirtAddr};
 use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
+use crate::pool::{PayloadPool, PoolStats};
 use crate::transport::{DeliveryOrder, DEFAULT_MTU};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
@@ -59,11 +90,30 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Default doorbell threshold of [`AsyncInitiator::batch`]: a batch
+/// auto-flushes once this many fragments are pending.
+pub const DEFAULT_DOORBELL_FRAGS: usize = 256;
+
+/// Slots in an initiator's route cache (direct-mapped).
+const ROUTE_SLOTS: usize = 8;
+
+type NackSink = Arc<Mutex<Vec<(VirtAddr, NackReason)>>>;
+
 enum WireMsg {
+    /// A single fragment (the small-message inline fast path).
     Deliver {
         dest: NodeAddr,
         frag: Fragment,
-        nacks: Arc<Mutex<Vec<(VirtAddr, NackReason)>>>,
+        nacks: NackSink,
+    },
+    /// A submission batch for one destination endpoint: the fragments of
+    /// one multi-fragment put, or many coalesced puts from a
+    /// [`PutBatch`]. One channel crossing and one NACK-sink reference for
+    /// the whole batch.
+    DeliverBatch {
+        dest: NodeAddr,
+        frags: Vec<Fragment>,
+        nacks: NackSink,
     },
     /// Quiesce barrier: the worker bumps the counter when every message
     /// queued before this one has been processed.
@@ -75,6 +125,10 @@ enum WireMsg {
 
 struct Shared {
     endpoints: RwLock<HashMap<NodeAddr, Arc<RvmaEndpoint>>>,
+    /// Bumped on every endpoint add/register/remove; route caches and the
+    /// workers' endpoint caches revalidate against it. Starts at 1 so a
+    /// zeroed route-cache slot can never spuriously match.
+    generation: AtomicU64,
     mtu: usize,
     order: DeliveryOrder,
     rng: Mutex<StdRng>,
@@ -82,13 +136,107 @@ struct Shared {
     queues: Vec<Sender<WireMsg>>,
 }
 
+#[inline]
+fn pack_addr(a: NodeAddr) -> u64 {
+    ((a.nid as u64) << 32) | a.pid as u64
+}
+
+#[inline]
+fn route_hash(dest: u64, vaddr: u64) -> u64 {
+    (dest ^ vaddr.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
 impl Shared {
     /// Queue index for a fragment: hash of (destination node, destination
     /// mailbox), so one mailbox's traffic always lands on one FIFO queue.
-    fn queue_for(&self, dest: NodeAddr, vaddr: VirtAddr) -> &Sender<WireMsg> {
-        let key = ((dest.nid as u64) << 32 | dest.pid as u64) ^ vaddr.raw().rotate_left(17);
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.queues[h as usize % self.queues.len()]
+    fn queue_index(&self, dest: NodeAddr, vaddr: VirtAddr) -> usize {
+        route_hash(pack_addr(dest), vaddr.raw()) as usize % self.queues.len()
+    }
+}
+
+/// One direct-mapped route-cache slot, published seqlock-style: `seq` is
+/// even when stable, odd while a writer is mid-publish; readers that
+/// observe a seq change retry as a miss. All fields are atomics, so
+/// readers and the (single successful) writer never data-race.
+#[derive(Default)]
+struct RouteSlot {
+    seq: AtomicU64,
+    dest: AtomicU64,
+    vaddr: AtomicU64,
+    generation: AtomicU64,
+    queue: AtomicU64,
+}
+
+impl RouteSlot {
+    fn read(&self, dest: u64, vaddr: u64, generation: u64) -> Option<usize> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            return None;
+        }
+        let d = self.dest.load(Ordering::Acquire);
+        let v = self.vaddr.load(Ordering::Acquire);
+        let g = self.generation.load(Ordering::Acquire);
+        let q = self.queue.load(Ordering::Acquire);
+        if self.seq.load(Ordering::Acquire) != s1 {
+            return None;
+        }
+        (d == dest && v == vaddr && g == generation).then_some(q as usize)
+    }
+
+    fn publish(&self, dest: u64, vaddr: u64, generation: u64, queue: usize) {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return; // another writer mid-publish: caching is best-effort
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.dest.store(dest, Ordering::Release);
+        self.vaddr.store(vaddr, Ordering::Release);
+        self.generation.store(generation, Ordering::Release);
+        self.queue.store(queue as u64, Ordering::Release);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+}
+
+struct RouteCache {
+    slots: [RouteSlot; ROUTE_SLOTS],
+}
+
+impl RouteCache {
+    fn new() -> Self {
+        RouteCache {
+            slots: std::array::from_fn(|_| RouteSlot::default()),
+        }
+    }
+
+    fn slot(&self, dest: u64, vaddr: u64) -> &RouteSlot {
+        &self.slots[route_hash(dest, vaddr) as usize % ROUTE_SLOTS]
+    }
+}
+
+/// Point-in-time route-cache counters of an [`AsyncInitiator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// Submissions routed from the cache (no lock, no rehash).
+    pub hits: u64,
+    /// Submissions that consulted the endpoint table.
+    pub misses: u64,
+}
+
+impl RouteStats {
+    /// Hits as a fraction of all route resolutions (1.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -96,6 +244,100 @@ impl Shared {
 pub struct AsyncNetwork {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<u64>>,
+}
+
+/// A wire worker's generation-validated endpoint cache: steady-state
+/// delivery resolves destinations from a thread-local map instead of the
+/// shared `RwLock`ed table. Negative results are not cached.
+struct EndpointCache {
+    generation: u64,
+    map: HashMap<NodeAddr, Arc<RvmaEndpoint>>,
+}
+
+impl EndpointCache {
+    fn new() -> Self {
+        EndpointCache {
+            generation: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, shared: &Shared, dest: NodeAddr) -> Option<Arc<RvmaEndpoint>> {
+        let current = shared.generation.load(Ordering::Acquire);
+        if current != self.generation {
+            self.map.clear();
+            self.generation = current;
+        }
+        if let Some(ep) = self.map.get(&dest) {
+            return Some(ep.clone());
+        }
+        let ep = shared.endpoints.read().get(&dest).cloned();
+        if let Some(ep) = &ep {
+            self.map.insert(dest, ep.clone());
+        }
+        ep
+    }
+}
+
+fn wire_worker(
+    shared: Arc<Shared>,
+    rx: crossbeam::channel::Receiver<WireMsg>,
+    latency: Duration,
+) -> u64 {
+    let mut delivered = 0u64;
+    let mut cache = EndpointCache::new();
+    // NACKs of one batch collect here and publish with a single sink lock.
+    let mut scratch_nacks: Vec<(VirtAddr, NackReason)> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WireMsg::Stop => break,
+            WireMsg::Flush { acks } => {
+                acks.fetch_add(1, Ordering::AcqRel);
+            }
+            WireMsg::Deliver { dest, frag, nacks } => {
+                if !latency.is_zero() {
+                    std::thread::sleep(latency);
+                }
+                match cache.get(&shared, dest) {
+                    Some(ep) => {
+                        if let DeliverResult::Nack(r) = ep.deliver(&frag) {
+                            nacks.lock().push((frag.dst_vaddr, r));
+                        }
+                        delivered += 1;
+                    }
+                    None => nacks
+                        .lock()
+                        .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+                }
+            }
+            WireMsg::DeliverBatch { dest, frags, nacks } => {
+                if !latency.is_zero() {
+                    // Every fragment still pays the wire latency; a batch
+                    // pays it as one sleep instead of N.
+                    std::thread::sleep(latency * frags.len() as u32);
+                }
+                match cache.get(&shared, dest) {
+                    Some(ep) => {
+                        ep.deliver_batch(&frags, &mut |vaddr, reason| {
+                            scratch_nacks.push((vaddr, reason));
+                        });
+                        delivered += frags.len() as u64;
+                    }
+                    None => {
+                        scratch_nacks.extend(
+                            frags
+                                .iter()
+                                .map(|f| (f.dst_vaddr, NackReason::NoSuchMailbox)),
+                        );
+                    }
+                }
+                if !scratch_nacks.is_empty() {
+                    nacks.lock().append(&mut scratch_nacks);
+                }
+            }
+        }
+    }
+    delivered
 }
 
 impl AsyncNetwork {
@@ -129,6 +371,7 @@ impl AsyncNetwork {
         }
         let shared = Arc::new(Shared {
             endpoints: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(1),
             mtu,
             order,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
@@ -141,35 +384,7 @@ impl AsyncNetwork {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("rvma-wire-{i}"))
-                    .spawn(move || {
-                        let mut delivered = 0u64;
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                WireMsg::Stop => break,
-                                WireMsg::Flush { acks } => {
-                                    acks.fetch_add(1, Ordering::AcqRel);
-                                }
-                                WireMsg::Deliver { dest, frag, nacks } => {
-                                    if !latency.is_zero() {
-                                        std::thread::sleep(latency);
-                                    }
-                                    let ep = shared.endpoints.read().get(&dest).cloned();
-                                    match ep {
-                                        Some(ep) => {
-                                            if let DeliverResult::Nack(r) = ep.deliver(&frag) {
-                                                nacks.lock().push((frag.dst_vaddr, r));
-                                            }
-                                            delivered += 1;
-                                        }
-                                        None => nacks
-                                            .lock()
-                                            .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
-                                    }
-                                }
-                            }
-                        }
-                        delivered
-                    })
+                    .spawn(move || wire_worker(shared, rx, latency))
                     .expect("spawn wire worker")
             })
             .collect();
@@ -201,6 +416,7 @@ impl AsyncNetwork {
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
         let ep = RvmaEndpoint::new(addr);
         self.shared.endpoints.write().insert(addr, ep.clone());
+        self.shared.generation.fetch_add(1, Ordering::Release);
         ep
     }
 
@@ -210,6 +426,20 @@ impl AsyncNetwork {
             .endpoints
             .write()
             .insert(endpoint.addr(), endpoint);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Detach the endpoint at `addr`. Bumps the route generation, so every
+    /// initiator's cached routes to it go stale and the next submission
+    /// fails fast. Fragments already queued race the removal the way they
+    /// would on a real fabric: workers that process them afterwards publish
+    /// asynchronous `NoSuchMailbox` NACKs.
+    pub fn remove_endpoint(&self, addr: NodeAddr) -> bool {
+        let removed = self.shared.endpoints.write().remove(&addr).is_some();
+        if removed {
+            self.shared.generation.fetch_add(1, Ordering::Release);
+        }
+        removed
     }
 
     /// An asynchronous initiator bound to `src`.
@@ -219,6 +449,10 @@ impl AsyncNetwork {
             src,
             next_op: AtomicU64::new(1),
             nacks: Arc::new(Mutex::new(Vec::new())),
+            routes: RouteCache::new(),
+            route_hits: AtomicU64::new(0),
+            route_misses: AtomicU64::new(0),
+            pool: PayloadPool::new(),
         }
     }
 
@@ -250,17 +484,50 @@ impl Drop for AsyncNetwork {
 }
 
 /// Asynchronous initiator handle.
+///
+/// Thread-safe; a single initiator shared across threads funnels all its
+/// NACKs into one [`take_nacks`](AsyncInitiator::take_nacks) sink.
 pub struct AsyncInitiator {
     shared: Arc<Shared>,
     src: NodeAddr,
     next_op: AtomicU64,
-    nacks: Arc<Mutex<Vec<(VirtAddr, NackReason)>>>,
+    nacks: NackSink,
+    routes: RouteCache,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+    pool: PayloadPool,
 }
 
 impl AsyncInitiator {
     /// The initiator's source address.
     pub fn src(&self) -> NodeAddr {
         self.src
+    }
+
+    /// Resolve the worker queue for (dest, vaddr).
+    ///
+    /// Steady state is the lock-free cache hit. A miss (cold route, or the
+    /// endpoint generation moved) checks that `dest` exists — under the
+    /// endpoint table's read lock, once — so an unknown destination still
+    /// fails fast. That check is advisory, not load-bearing: an endpoint
+    /// removed *after* it (or after a hit) is caught by the wire worker,
+    /// which publishes an asynchronous `NoSuchMailbox` NACK. Correctness
+    /// never depends on the initiator-side existence check.
+    fn resolve_route(&self, dest: NodeAddr, vaddr: VirtAddr) -> Result<usize> {
+        let packed = pack_addr(dest);
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        let slot = self.routes.slot(packed, vaddr.raw());
+        if let Some(queue) = slot.read(packed, vaddr.raw(), generation) {
+            self.route_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(queue);
+        }
+        self.route_misses.fetch_add(1, Ordering::Relaxed);
+        if self.shared.endpoints.read().get(&dest).is_none() {
+            return Err(RvmaError::UnknownDestination);
+        }
+        let queue = self.shared.queue_index(dest, vaddr);
+        slot.publish(packed, vaddr.raw(), generation, queue);
+        Ok(queue)
     }
 
     /// Asynchronous `RVMA_Put` at offset 0: enqueue and return. Delivery,
@@ -273,7 +540,87 @@ impl AsyncInitiator {
     /// fragments of the put target one mailbox, hence one worker queue:
     /// submission order is preserved end-to-end unless the network itself
     /// is configured `OutOfOrder`.
+    ///
+    /// Steady state (warm route cache, warm payload pool) acquires no
+    /// `RwLock` and performs no heap allocation beyond the pooled payload
+    /// copy; a put of at most one MTU additionally skips the fragment
+    /// vector entirely and crosses the channel as a single message.
     pub fn put_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        let queue_idx = self.resolve_route(dest, vaddr)?;
+        let queue = &self.shared.queues[queue_idx];
+        let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let mtu = self.shared.mtu;
+        // One `nacks` Arc clone per submission (it used to be one per
+        // fragment): the Arc travels with the message because the wire
+        // worker that eventually discards a fragment must publish the NACK
+        // into *this* initiator's sink without holding any reference to
+        // the initiator itself, which may be long gone by delivery time.
+        if data.len() <= mtu {
+            // Inline fast path: one fragment, no fragment vector, no
+            // shuffle. Zero-length puts take this path too.
+            let frag = Fragment {
+                initiator: self.src,
+                op_id,
+                dst_vaddr: vaddr,
+                op_total_len: data.len() as u64,
+                offset,
+                data: self.pool.acquire(data),
+            };
+            return queue
+                .send(WireMsg::Deliver {
+                    dest,
+                    frag,
+                    nacks: self.nacks.clone(),
+                })
+                .map_err(|_| RvmaError::UnknownDestination);
+        }
+        let frags = self.fragment(vaddr, op_id, offset, data);
+        queue
+            .send(WireMsg::DeliverBatch {
+                dest,
+                frags,
+                nacks: self.nacks.clone(),
+            })
+            .map_err(|_| RvmaError::UnknownDestination)
+    }
+
+    /// Split a multi-MTU payload into fragments (pooled copy, zero-copy
+    /// slices), shuffled when the network is `OutOfOrder`.
+    fn fragment(&self, vaddr: VirtAddr, op_id: u64, offset: usize, data: &[u8]) -> Vec<Fragment> {
+        let payload = self.pool.acquire(data);
+        let total = payload.len() as u64;
+        let mtu = self.shared.mtu;
+        let mut frags: Vec<Fragment> = (0..payload.len())
+            .step_by(mtu)
+            .map(|start| {
+                let end = (start + mtu).min(payload.len());
+                Fragment {
+                    initiator: self.src,
+                    op_id,
+                    dst_vaddr: vaddr,
+                    op_total_len: total,
+                    offset: offset + start,
+                    data: payload.slice(start..end),
+                }
+            })
+            .collect();
+        if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
+            frags.shuffle(&mut *self.shared.rng.lock());
+        }
+        frags
+    }
+
+    /// The seed/PR-1 submission path, kept verbatim for A/B benchmarking
+    /// (`msg_rate --bin`): endpoint-table read lock per put, fresh payload
+    /// allocation, a fragment vector even for single-fragment puts, and
+    /// one channel send + one NACK-sink Arc clone *per fragment*.
+    pub fn put_at_legacy(
         &self,
         dest: NodeAddr,
         vaddr: VirtAddr,
@@ -316,7 +663,7 @@ impl AsyncInitiator {
         if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
             frags.shuffle(&mut *self.shared.rng.lock());
         }
-        let queue = self.shared.queue_for(dest, vaddr);
+        let queue = &self.shared.queues[self.shared.queue_index(dest, vaddr)];
         for frag in frags {
             queue
                 .send(WireMsg::Deliver {
@@ -329,9 +676,160 @@ impl AsyncInitiator {
         Ok(())
     }
 
+    /// Start a submission batch with the default doorbell threshold
+    /// ([`DEFAULT_DOORBELL_FRAGS`] pending fragments).
+    pub fn batch(&self) -> PutBatch<'_> {
+        self.batch_with(DEFAULT_DOORBELL_FRAGS)
+    }
+
+    /// Start a submission batch that auto-flushes once `doorbell_frags`
+    /// fragments are pending (clamped to at least 1).
+    pub fn batch_with(&self, doorbell_frags: usize) -> PutBatch<'_> {
+        PutBatch {
+            init: self,
+            groups: Vec::new(),
+            memo: None,
+            pending: 0,
+            doorbell: doorbell_frags.max(1),
+        }
+    }
+
     /// Drain the asynchronous NACK notifications received so far.
     pub fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
         std::mem::take(&mut *self.nacks.lock())
+    }
+
+    /// Route-cache counters (hits resolve with no lock and no rehash).
+    pub fn route_stats(&self) -> RouteStats {
+        RouteStats {
+            hits: self.route_hits.load(Ordering::Relaxed),
+            misses: self.route_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Payload-pool counters (hits reuse a retired allocation).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+/// A coalescing submission batch (the software doorbell).
+///
+/// Puts append fragments to per-(worker shard, destination) groups held in
+/// the batch; nothing crosses a channel until [`flush`](PutBatch::flush)
+/// is called or the pending-fragment count reaches the doorbell
+/// threshold, at which point each group crosses as **one**
+/// `DeliverBatch` message. Dropping the batch flushes it.
+///
+/// Ordering: fragments for one mailbox are delivered in the order they
+/// were appended, but a batch is its own submission stream — puts issued
+/// directly on the initiator while a batch holds undelivered fragments
+/// for the same mailbox may be delivered ahead of them.
+pub struct PutBatch<'a> {
+    init: &'a AsyncInitiator,
+    /// (queue index, destination, fragments) groups; linear scan — a
+    /// batch rarely targets more than a handful of destinations.
+    groups: Vec<(usize, NodeAddr, Vec<Fragment>)>,
+    /// Last (dest, vaddr) resolved → (generation, queue, group index).
+    /// Messaging loops hammer one route; the memo skips even the route
+    /// cache and the group scan on consecutive same-route puts.
+    memo: Option<(NodeAddr, VirtAddr, u64, usize, usize)>,
+    pending: usize,
+    doorbell: usize,
+}
+
+impl PutBatch<'_> {
+    /// Append a put at offset 0 to the batch.
+    pub fn put(&mut self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
+        self.put_at(dest, vaddr, 0, data)
+    }
+
+    /// Append a put to the batch; auto-flushes at the doorbell threshold.
+    pub fn put_at(
+        &mut self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        let generation = self.init.shared.generation.load(Ordering::Acquire);
+        let group_idx = match self.memo {
+            Some((d, v, g, _, gi)) if d == dest && v == vaddr && g == generation => gi,
+            _ => {
+                let queue_idx = self.init.resolve_route(dest, vaddr)?;
+                let gi = match self
+                    .groups
+                    .iter()
+                    .position(|(q, d, _)| *q == queue_idx && *d == dest)
+                {
+                    Some(i) => i,
+                    None => {
+                        self.groups.push((queue_idx, dest, Vec::new()));
+                        self.groups.len() - 1
+                    }
+                };
+                self.memo = Some((dest, vaddr, generation, queue_idx, gi));
+                gi
+            }
+        };
+        let op_id = self.init.next_op.fetch_add(1, Ordering::Relaxed);
+        let group = &mut self.groups[group_idx].2;
+        if data.len() <= self.init.shared.mtu {
+            group.push(Fragment {
+                initiator: self.init.src,
+                op_id,
+                dst_vaddr: vaddr,
+                op_total_len: data.len() as u64,
+                offset,
+                data: self.init.pool.acquire(data),
+            });
+            self.pending += 1;
+        } else {
+            let mut frags = self.init.fragment(vaddr, op_id, offset, data);
+            self.pending += frags.len();
+            group.append(&mut frags);
+        }
+        if self.pending >= self.doorbell {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Fragments appended and not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Ring the doorbell: every non-empty group crosses its worker queue
+    /// as a single `DeliverBatch` message (one NACK-sink Arc clone each).
+    pub fn flush(&mut self) -> Result<()> {
+        self.pending = 0;
+        let mut result = Ok(());
+        let doorbell = self.doorbell;
+        for (queue_idx, dest, frags) in &mut self.groups {
+            if frags.is_empty() {
+                continue;
+            }
+            // Replace with a pre-sized vector: the group refills to the
+            // doorbell threshold, and regrowing from empty would pay
+            // several reallocations per batch.
+            let batch = std::mem::replace(frags, Vec::with_capacity(doorbell));
+            let sent = self.init.shared.queues[*queue_idx].send(WireMsg::DeliverBatch {
+                dest: *dest,
+                frags: batch,
+                nacks: self.init.nacks.clone(),
+            });
+            if sent.is_err() && result.is_ok() {
+                result = Err(RvmaError::UnknownDestination);
+            }
+        }
+        result
+    }
+}
+
+impl Drop for PutBatch<'_> {
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -576,5 +1074,292 @@ mod tests {
             // net dropped here with fragments still queued.
         }
         assert_eq!(server.stats().epochs_completed, 8);
+    }
+
+    #[test]
+    fn route_cache_steady_state_is_lockless_and_pooled() {
+        // After one warm-up put, every subsequent put to the same route is
+        // a cache hit, and (with deliveries drained between puts) every
+        // payload copy is a pool hit.
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        let win = server
+            .init_window(VirtAddr::new(5), Threshold::ops(1))
+            .unwrap();
+        let mut notes = win.post_buffers(vec![vec![0; 64]; 17]).unwrap();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(5), &[0; 64])
+            .unwrap();
+        net.quiesce();
+        for k in 0..16u8 {
+            client
+                .put(NodeAddr::node(1), VirtAddr::new(5), &[k; 64])
+                .unwrap();
+            net.quiesce();
+        }
+        let routes = client.route_stats();
+        assert_eq!(routes.misses, 1, "only the cold put misses");
+        assert_eq!(routes.hits, 16);
+        let pool = client.pool_stats();
+        assert_eq!(pool.misses, 1, "only the cold put allocates");
+        assert_eq!(pool.hits, 16);
+        assert_eq!(pool.hit_rate() + routes.hit_rate(), 2.0 * 16.0 / 17.0);
+        for n in notes.iter_mut() {
+            assert_eq!(n.wait().len(), 64);
+        }
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_endpoint_removal() {
+        let net = AsyncNetwork::default_network();
+        let _server = net.add_endpoint(NodeAddr::node(1));
+        let client = net.initiator(NodeAddr::node(2));
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(7), &[0; 8])
+            .unwrap();
+        client
+            .put(NodeAddr::node(1), VirtAddr::new(7), &[0; 8])
+            .unwrap();
+        assert_eq!(client.route_stats().hits, 1, "route cached");
+        assert!(net.remove_endpoint(NodeAddr::node(1)));
+        assert!(!net.remove_endpoint(NodeAddr::node(1)), "already gone");
+        // The generation bump makes the cached route stale: the put misses,
+        // re-checks the table, and fails fast.
+        assert_eq!(
+            client.put(NodeAddr::node(1), VirtAddr::new(7), &[0; 8]),
+            Err(RvmaError::UnknownDestination)
+        );
+        assert_eq!(client.route_stats().misses, 2);
+    }
+
+    #[test]
+    fn batch_coalesces_and_flushes_explicitly() {
+        let net = AsyncNetwork::with_options(64, DeliveryOrder::InOrder, Duration::ZERO, 4);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let mut notes = Vec::new();
+        for i in 0..4u64 {
+            let win = server
+                .init_window(VirtAddr::new(i), Threshold::ops(4))
+                .unwrap();
+            notes.push(win.post_buffer(vec![0; 256]).unwrap());
+        }
+        let client = net.initiator(NodeAddr::node(9));
+        let mut batch = client.batch();
+        for k in 0..4usize {
+            for i in 0..4u64 {
+                batch
+                    .put_at(
+                        NodeAddr::node(0),
+                        VirtAddr::new(i),
+                        k * 16,
+                        &[i as u8 + 1; 16],
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(batch.pending(), 16, "nothing crossed before the doorbell");
+        batch.flush().unwrap();
+        assert_eq!(batch.pending(), 0);
+        for (i, n) in notes.iter_mut().enumerate() {
+            let buf = n.wait();
+            assert_eq!(buf.data()[..16], [i as u8 + 1; 16]);
+        }
+        assert_eq!(server.stats().epochs_completed, 4);
+    }
+
+    #[test]
+    fn batch_auto_flushes_at_doorbell_threshold() {
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::ops(4))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 64]).unwrap();
+        let client = net.initiator(NodeAddr::node(9));
+        let mut batch = client.batch_with(4);
+        for k in 0..3usize {
+            batch
+                .put_at(NodeAddr::node(0), VirtAddr::new(1), k * 16, &[7; 16])
+                .unwrap();
+        }
+        assert_eq!(batch.pending(), 3);
+        batch
+            .put_at(NodeAddr::node(0), VirtAddr::new(1), 48, &[7; 16])
+            .unwrap();
+        assert_eq!(batch.pending(), 0, "doorbell rang at 4 fragments");
+        assert_eq!(note.wait().data(), vec![7; 64].as_slice());
+    }
+
+    #[test]
+    fn batch_drop_flushes_pending_puts() {
+        let net = AsyncNetwork::default_network();
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::ops(2))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 32]).unwrap();
+        let client = net.initiator(NodeAddr::node(9));
+        {
+            let mut batch = client.batch();
+            batch
+                .put_at(NodeAddr::node(0), VirtAddr::new(1), 0, &[1; 16])
+                .unwrap();
+            batch
+                .put_at(NodeAddr::node(0), VirtAddr::new(1), 16, &[2; 16])
+                .unwrap();
+            // Dropped with 2 pending fragments.
+        }
+        assert_eq!(note.wait().len(), 32);
+    }
+
+    #[test]
+    fn batch_multi_fragment_puts_and_nacks() {
+        // A batched multi-MTU put fragments correctly, and batched NACKs
+        // (missing mailbox) all surface, one sink lock per batch.
+        let net = AsyncNetwork::new(16, DeliveryOrder::InOrder, Duration::ZERO);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::bytes(64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 64]).unwrap();
+        let client = net.initiator(NodeAddr::node(9));
+        let payload: Vec<u8> = (0..64u8).collect();
+        let mut batch = client.batch();
+        batch
+            .put(NodeAddr::node(0), VirtAddr::new(1), &payload)
+            .unwrap();
+        batch
+            .put(NodeAddr::node(0), VirtAddr::new(99), &[0; 32])
+            .unwrap();
+        batch.flush().unwrap();
+        net.quiesce();
+        assert_eq!(note.wait().data(), payload.as_slice());
+        let nacks = client.take_nacks();
+        assert_eq!(nacks.len(), 2, "one NACK per missing-mailbox fragment");
+        assert!(nacks
+            .iter()
+            .all(|(va, r)| *va == VirtAddr::new(99) && *r == NackReason::NoSuchMailbox));
+    }
+
+    #[test]
+    fn batch_to_unknown_destination_fails_fast() {
+        let net = AsyncNetwork::default_network();
+        let client = net.initiator(NodeAddr::node(2));
+        let mut batch = client.batch();
+        assert_eq!(
+            batch.put(NodeAddr::node(9), VirtAddr::new(1), &[0; 8]),
+            Err(RvmaError::UnknownDestination)
+        );
+    }
+
+    #[test]
+    fn take_nacks_observes_all_shards_exactly_once() {
+        // Concurrent failing puts from one shared initiator, spread across
+        // many mailboxes (hence many worker queues): every NACK is
+        // observed, none duplicated.
+        let net = AsyncNetwork::with_options(64, DeliveryOrder::InOrder, Duration::ZERO, 8);
+        let _server = net.add_endpoint(NodeAddr::node(0));
+        let client = Arc::new(net.initiator(NodeAddr::node(1)));
+        const THREADS: u64 = 4;
+        const PUTS: u64 = 32;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let client = client.clone();
+                s.spawn(move || {
+                    for k in 0..PUTS {
+                        // Distinct vaddrs spread over the queue shards; no
+                        // mailbox exists, so every put NACKs.
+                        client
+                            .put(NodeAddr::node(0), VirtAddr::new(t * PUTS + k), &[0; 8])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        net.quiesce();
+        let mut nacks = client.take_nacks();
+        assert_eq!(nacks.len(), (THREADS * PUTS) as usize);
+        nacks.sort_by_key(|(va, _)| va.raw());
+        for (i, (va, reason)) in nacks.iter().enumerate() {
+            assert_eq!(va.raw(), i as u64, "every failing put NACKed once");
+            assert_eq!(*reason, NackReason::NoSuchMailbox);
+        }
+        assert!(client.take_nacks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn zero_length_and_mtu_boundary_puts() {
+        // step_by(mtu) boundaries through both the inline fast path
+        // (len <= mtu, including len == 0) and the batched fragment path
+        // (len > mtu), via put_at and via PutBatch.
+        const MTU: usize = 16;
+        let net = AsyncNetwork::new(MTU, DeliveryOrder::InOrder, Duration::ZERO);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(9));
+        let sizes = [0usize, 1, MTU - 1, MTU, MTU + 1, 2 * MTU, 2 * MTU + 1];
+        for (i, &len) in sizes.iter().enumerate() {
+            let vaddr = VirtAddr::new(i as u64);
+            let win = server.init_window(vaddr, Threshold::ops(2)).unwrap();
+            let mut note = win.post_buffer(vec![0xFF; 2 * MTU + 1]).unwrap();
+            let payload: Vec<u8> = (0..len).map(|b| b as u8 + 1).collect();
+            // Once directly, once through a batch.
+            client
+                .put_at(NodeAddr::node(0), vaddr, 0, &payload)
+                .unwrap();
+            let mut batch = client.batch();
+            batch.put_at(NodeAddr::node(0), vaddr, 0, &payload).unwrap();
+            batch.flush().unwrap();
+            let buf = note.wait();
+            assert_eq!(&buf.full_buffer()[..len], payload.as_slice(), "len={len}");
+            assert_eq!(
+                server.stats().epochs_completed,
+                i as u64 + 1,
+                "both ops (even zero-length) counted at len={len}"
+            );
+        }
+        net.quiesce();
+        assert!(client.take_nacks().is_empty());
+    }
+
+    #[test]
+    fn exactly_mtu_put_is_single_fragment() {
+        // An exactly-MTU put must take the inline path: one fragment, not
+        // one full + one empty (the step_by off-by-one this test pins).
+        const MTU: usize = 32;
+        let net = AsyncNetwork::new(MTU, DeliveryOrder::InOrder, Duration::ZERO);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(9));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::bytes(MTU as u64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; MTU]).unwrap();
+        client
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[5; MTU])
+            .unwrap();
+        assert_eq!(note.wait().data(), vec![5; MTU].as_slice());
+        assert_eq!(server.stats().fragments_accepted, 1);
+    }
+
+    #[test]
+    fn legacy_path_still_delivers() {
+        // The PR-1 A/B baseline stays functional: same delivery semantics,
+        // just unbatched and uncached.
+        let net = AsyncNetwork::new(16, DeliveryOrder::InOrder, Duration::ZERO);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(9));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::bytes(64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 64]).unwrap();
+        let payload: Vec<u8> = (0..64u8).collect();
+        client
+            .put_at_legacy(NodeAddr::node(0), VirtAddr::new(1), 0, &payload)
+            .unwrap();
+        assert_eq!(note.wait().data(), payload.as_slice());
+        assert_eq!(
+            client.put_at_legacy(NodeAddr::node(7), VirtAddr::new(1), 0, &[0; 4]),
+            Err(RvmaError::UnknownDestination)
+        );
     }
 }

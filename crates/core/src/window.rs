@@ -12,6 +12,7 @@ use crate::endpoint::RvmaEndpoint;
 use crate::error::Result;
 use crate::mailbox::{EpochProgress, Mailbox};
 use crate::notify::{Notification, NotificationSlot};
+use crate::pool::{BufferPool, PoolStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -26,6 +27,8 @@ pub struct Window {
     mailbox: Arc<Mutex<Mailbox>>,
     vaddr: VirtAddr,
     threshold: Threshold,
+    /// Recycles epoch-buffer allocations for [`Window::post_pooled`].
+    pool: Arc<BufferPool>,
 }
 
 impl Window {
@@ -40,6 +43,7 @@ impl Window {
             mailbox,
             vaddr,
             threshold,
+            pool: Arc::new(BufferPool::new()),
         }
     }
 
@@ -72,6 +76,35 @@ impl Window {
             .lock()
             .post(PostedBuffer::new(buf, threshold, slot.clone()))?;
         Ok(Notification::new(slot))
+    }
+
+    /// Post a zeroed `len`-byte buffer drawn from the window's buffer pool
+    /// with the window's default threshold. The allocation returns to the
+    /// pool automatically when the last owner of the completed buffer
+    /// (notification holder, retired-ring entry, rewind clone) drops it, so
+    /// a steady-state post → complete → re-post cycle stops allocating once
+    /// the pool is warm. [`pool_stats`](Window::pool_stats) exposes the
+    /// hit/miss counters.
+    pub fn post_pooled(&self, len: usize) -> Result<Notification> {
+        self.post_pooled_with(len, self.threshold)
+    }
+
+    /// [`post_pooled`](Window::post_pooled) with an explicit per-buffer
+    /// threshold override.
+    pub fn post_pooled_with(&self, len: usize, threshold: Threshold) -> Result<Notification> {
+        let slot = NotificationSlot::new();
+        self.mailbox.lock().post(PostedBuffer::pooled(
+            self.pool.take(len),
+            threshold,
+            slot.clone(),
+            self.pool.clone(),
+        ))?;
+        Ok(Notification::new(slot))
+    }
+
+    /// Hit/miss/occupancy counters of the window's buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Post several buffers at once, returning their notification handles in
@@ -233,6 +266,31 @@ mod tests {
         put(&ep, 2, 0, &[2; 8]);
         assert_eq!(win.rewind(2).unwrap().data(), &[1; 8]);
         assert_eq!(win.retired_epoch(1).unwrap().data(), &[2; 8]);
+    }
+
+    #[test]
+    fn post_pooled_recycles_epoch_buffers() {
+        use crate::mailbox::DEFAULT_RETAIN_EPOCHS;
+        let (ep, win) = setup();
+        // Cold: the pool has nothing shelved.
+        let mut n = win.post_pooled(8).unwrap();
+        assert_eq!(win.pool_stats().misses, 1);
+        put(&ep, 1, 0, &[1; 8]);
+        assert_eq!(n.poll().unwrap().data(), &[1; 8]);
+        // The retired ring still co-owns the allocation for rewind; run
+        // enough epochs to evict it, and its last drop shelves it.
+        for k in 0..DEFAULT_RETAIN_EPOCHS as u64 {
+            let mut n = win.post_pooled(8).unwrap();
+            put(&ep, 2 + k, 0, &[0; 8]);
+            let _ = n.poll().unwrap();
+        }
+        assert_eq!(win.pool_stats().shelved, 1);
+        // ...and the next post reuses it, zeroed.
+        let mut n = win.post_pooled(8).unwrap();
+        assert_eq!(win.pool_stats().hits, 1);
+        put(&ep, 9, 0, &[2; 4]);
+        put(&ep, 10, 4, &[3; 4]);
+        assert_eq!(n.poll().unwrap().data(), &[2, 2, 2, 2, 3, 3, 3, 3]);
     }
 
     #[test]

@@ -1,40 +1,100 @@
 //! Offline shim for `bytes`: the [`Bytes`] subset this workspace uses — a
-//! cheaply cloneable, sliceable, immutable byte buffer backed by
-//! `Arc<[u8]>`. Clones and slices share one allocation; no copy-on-write
-//! or buffer-mutation APIs are provided.
+//! cheaply cloneable, sliceable, immutable byte buffer. Large buffers are
+//! backed by `Arc<[u8]>` (clones and slices share one allocation); buffers
+//! of at most [`INLINE_CAP`] bytes are stored inline in the handle itself,
+//! so small-message payloads carry no allocation and no reference count at
+//! all. No copy-on-write or buffer-mutation APIs are provided.
 
 use std::fmt;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
+/// Largest view stored inline (no allocation, no refcount). Sized so the
+/// handle stays within a few words; small-message datapaths lean on this.
+pub const INLINE_CAP: usize = 24;
+
+#[derive(Clone)]
+enum Repr {
+    /// The bytes live in the handle; clones and slices copy (at most
+    /// [`INLINE_CAP`] bytes — cheaper than touching a refcount).
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    /// The bytes live in a shared allocation; clones and slices share it.
+    Shared {
+        data: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// An immutable byte buffer: inline below [`INLINE_CAP`] bytes,
+/// reference-counted above.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
-    start: usize,
-    end: usize,
+    repr: Repr,
 }
 
 impl Bytes {
-    /// An empty buffer (no allocation shared beyond a static empty slice).
+    /// An empty buffer (no allocation).
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
-            start: 0,
-            end: 0,
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; INLINE_CAP],
+            },
         }
     }
 
-    /// Copy `data` into a fresh shared allocation.
-    pub fn copy_from_slice(data: &[u8]) -> Self {
+    fn inline(data: &[u8]) -> Self {
+        debug_assert!(data.len() <= INLINE_CAP);
+        let mut buf = [0; INLINE_CAP];
+        buf[..data.len()].copy_from_slice(data);
         Bytes {
-            end: data.len(),
-            data: Arc::from(data),
-            start: 0,
+            repr: Repr::Inline {
+                len: data.len() as u8,
+                buf,
+            },
         }
     }
 
-    /// A zero-copy sub-slice sharing this buffer's allocation.
+    /// Copy `data` into the buffer: inline when it fits, otherwise a fresh
+    /// shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        if data.len() <= INLINE_CAP {
+            Bytes::inline(data)
+        } else {
+            Bytes {
+                repr: Repr::Shared {
+                    end: data.len(),
+                    data: Arc::from(data),
+                    start: 0,
+                },
+            }
+        }
+    }
+
+    /// Wrap the first `len` bytes of an existing shared allocation without
+    /// copying (shim extension; the real crate reaches the same shape via
+    /// `BytesMut::freeze`). This is what lets a buffer pool hand out
+    /// recycled allocations as `Bytes` views — the view always shares, so
+    /// the pool can watch the refcount to learn when the allocation is
+    /// free again.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the allocation's length.
+    pub fn from_shared(data: Arc<[u8]>, len: usize) -> Self {
+        assert!(len <= data.len(), "from_shared out of bounds");
+        Bytes {
+            repr: Repr::Shared {
+                data,
+                start: 0,
+                end: len,
+            },
+        }
+    }
+
+    /// A sub-slice of this buffer: zero-copy (sharing the allocation) for
+    /// shared buffers, a copy of at most [`INLINE_CAP`] bytes for inline
+    /// ones.
     ///
     /// # Panics
     /// Panics if the range is out of bounds or inverted.
@@ -51,21 +111,29 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
-        Bytes {
-            data: self.data.clone(),
-            start: self.start + begin,
-            end: self.start + end,
+        match &self.repr {
+            Repr::Inline { buf, .. } => Bytes::inline(&buf[begin..end]),
+            Repr::Shared { data, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: data.clone(),
+                    start: start + begin,
+                    end: start + end,
+                },
+            },
         }
     }
 
     /// Number of bytes in this view.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared { start, end, .. } => end - start,
+        }
     }
 
     /// True when the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len() == 0
     }
 }
 
@@ -78,7 +146,10 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared { data, start, end } => &data[*start..*end],
+        }
     }
 }
 
@@ -90,10 +161,16 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            end: v.len(),
-            data: Arc::from(v),
-            start: 0,
+        if v.len() <= INLINE_CAP {
+            Bytes::inline(&v)
+        } else {
+            Bytes {
+                repr: Repr::Shared {
+                    end: v.len(),
+                    data: Arc::from(v),
+                    start: 0,
+                },
+            }
         }
     }
 }
@@ -130,13 +207,14 @@ mod tests {
 
     #[test]
     fn slices_share_allocation() {
-        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let v: Vec<u8> = (0..64).collect();
+        let b = Bytes::from(v);
         let s = b.slice(2..5);
         assert_eq!(&s[..], &[2, 3, 4]);
         assert_eq!(s.len(), 3);
         let s2 = s.slice(1..);
         assert_eq!(&s2[..], &[3, 4]);
-        assert_eq!(b.len(), 6);
+        assert_eq!(b.len(), 64);
     }
 
     #[test]
@@ -147,8 +225,38 @@ mod tests {
     }
 
     #[test]
+    fn inline_repr_roundtrip() {
+        // At and below the inline cap, no allocation is involved; contents
+        // and slicing must be indistinguishable from the shared repr.
+        let data: Vec<u8> = (0..INLINE_CAP as u8).collect();
+        let b = Bytes::copy_from_slice(&data);
+        assert_eq!(&b[..], data.as_slice());
+        assert_eq!(b.slice(3..7), Bytes::copy_from_slice(&data[3..7]));
+        let shared = Bytes::from_shared(Arc::from(data.as_slice()), data.len());
+        assert_eq!(b, shared, "equality is by contents, not by repr");
+        // One past the cap spills to the shared repr.
+        let big = Bytes::copy_from_slice(&[7u8; INLINE_CAP + 1]);
+        assert_eq!(big.len(), INLINE_CAP + 1);
+        assert_eq!(big.slice(..4), Bytes::copy_from_slice(&[7; 4]));
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn bad_slice_panics() {
         Bytes::from(vec![1]).slice(0..2);
+    }
+
+    #[test]
+    fn from_shared_is_zero_copy() {
+        let arc: Arc<[u8]> = Arc::from(vec![1u8, 2, 3, 4]);
+        let b = Bytes::from_shared(arc.clone(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(Arc::strong_count(&arc), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_shared_bounds_checked() {
+        Bytes::from_shared(Arc::from(vec![0u8; 2]), 3);
     }
 }

@@ -17,6 +17,7 @@ use crate::lut::Lut;
 use crate::mailbox::{
     BeginOutcome, DeliveryOutcome, Mailbox, MailboxMode, OpKey, DEFAULT_RETAIN_EPOCHS,
 };
+use crate::retry::{FaultModel, DEFAULT_RETRY_BUDGET};
 use crate::window::Window;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -68,6 +69,22 @@ pub struct EndpointConfig {
     /// Fragments shard across workers by destination mailbox, preserving
     /// per-mailbox arrival order.
     pub wire_workers: usize,
+    /// Capacity (distinct operations remembered) of the per-mailbox
+    /// receiver-side dedup window. 0 (the default) disables dedup,
+    /// preserving the documented unprotected behaviour of the lossy
+    /// boundary; the reliable-delivery paths require it enabled (see
+    /// [`crate::retry`]).
+    pub dedup_window: usize,
+    /// Fault model a fault-injecting transport should apply to this
+    /// endpoint's traffic ([`FaultModel::NONE`] = reliable fabric).
+    pub fault_model: FaultModel,
+    /// Seed of the transport's fault dice, for reproducible runs.
+    pub fault_seed: u64,
+    /// Per-fragment transmit budget of the transport's link-level
+    /// retransmission (see `AsyncNetwork`): a faulted fragment is
+    /// redelivered up to this many times before the final attempt is made
+    /// fault-free, bounding completion time under any fault model.
+    pub retry_budget: u32,
 }
 
 impl Default for EndpointConfig {
@@ -78,6 +95,10 @@ impl Default for EndpointConfig {
             lut_capacity: None,
             retain_epochs: DEFAULT_RETAIN_EPOCHS,
             wire_workers: 1,
+            dedup_window: 0,
+            fault_model: FaultModel::NONE,
+            fault_seed: 0x5EED,
+            retry_budget: DEFAULT_RETRY_BUDGET,
         }
     }
 }
@@ -100,6 +121,9 @@ pub struct EndpointStats {
     pub lut_hits: AtomicU64,
     /// LUT lookups that missed (before catch-all redirection).
     pub lut_misses: AtomicU64,
+    /// Fragments suppressed by a mailbox's dedup window (counted neither
+    /// as accepted nor as discarded).
+    pub duplicates_dropped: AtomicU64,
 }
 
 /// A point-in-time copy of [`EndpointStats`].
@@ -119,6 +143,8 @@ pub struct StatsSnapshot {
     pub lut_hits: u64,
     /// LUT misses.
     pub lut_misses: u64,
+    /// Fragments suppressed by a dedup window.
+    pub duplicates_dropped: u64,
 }
 
 impl EndpointStats {
@@ -131,6 +157,7 @@ impl EndpointStats {
             epochs_completed: self.epochs_completed.load(Ordering::Relaxed),
             lut_hits: self.lut_hits.load(Ordering::Relaxed),
             lut_misses: self.lut_misses.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,6 +170,10 @@ pub enum DeliverResult {
         /// True when this fragment completed the active buffer's epoch.
         completed_epoch: bool,
     },
+    /// Suppressed by the target mailbox's dedup window: an identical
+    /// fragment was accepted earlier, so to the initiator this is a
+    /// positive acknowledgement (the data *is* at the target).
+    Duplicate,
     /// Discarded, and the target's policy says to NACK the initiator.
     Nack(NackReason),
     /// Discarded silently (NACKs disabled).
@@ -166,6 +197,7 @@ struct BatchCounters {
     epochs: u64,
     lut_hits: u64,
     lut_misses: u64,
+    dups: u64,
 }
 
 impl BatchCounters {
@@ -197,6 +229,7 @@ impl BatchCounters {
             (&stats.epochs_completed, self.epochs),
             (&stats.lut_hits, self.lut_hits),
             (&stats.lut_misses, self.lut_misses),
+            (&stats.duplicates_dropped, self.dups),
         ];
         for (counter, delta) in pairs {
             if delta > 0 {
@@ -264,10 +297,11 @@ impl RvmaEndpoint {
         if threshold.count == 0 {
             return Err(RvmaError::ZeroThreshold);
         }
-        let mailbox = Arc::new(Mutex::new(Mailbox::new(
+        let mailbox = Arc::new(Mutex::new(Mailbox::with_dedup(
             vaddr,
             mode,
             self.config.retain_epochs,
+            self.config.dedup_window,
         )));
         self.lut.insert(vaddr, mailbox.clone())?;
         Ok(Window::new(self.clone(), mailbox, vaddr, threshold))
@@ -348,6 +382,12 @@ impl RvmaEndpoint {
                 DeliverResult::Ok {
                     completed_epoch: true,
                 }
+            }
+            DeliveryOutcome::Duplicate => {
+                self.stats
+                    .duplicates_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                DeliverResult::Duplicate
             }
             DeliveryOutcome::Discarded(reason) => self.discard(reason),
         }
@@ -445,6 +485,7 @@ impl RvmaEndpoint {
                         acc.accept(len);
                         acc.epochs += 1;
                     }
+                    DeliveryOutcome::Duplicate => acc.dups += 1,
                     DeliveryOutcome::Discarded(reason) => {
                         acc.discard(nacks_enabled, vaddr, reason, on_nack);
                     }
@@ -469,6 +510,10 @@ impl RvmaEndpoint {
                     BeginOutcome::Done(DeliveryOutcome::Completed) => {
                         acc.accept(f.data.len());
                         acc.epochs += 1;
+                        idx += 1;
+                    }
+                    BeginOutcome::Done(DeliveryOutcome::Duplicate) => {
+                        acc.dups += 1;
                         idx += 1;
                     }
                     BeginOutcome::Done(DeliveryOutcome::Discarded(reason)) => {
@@ -679,6 +724,66 @@ mod tests {
                 .unwrap(),
             RvmaError::ZeroThreshold
         );
+    }
+
+    #[test]
+    fn dedup_window_blocks_early_completion() {
+        // The reliability-layer guarantee at the endpoint boundary: with a
+        // dedup window configured, a duplicated final fragment is dropped
+        // instead of completing the next epoch early.
+        let ep = RvmaEndpoint::with_config(
+            NodeAddr::node(1),
+            EndpointConfig {
+                dedup_window: 16,
+                ..Default::default()
+            },
+        );
+        let win = ep
+            .init_window(VirtAddr::new(5), Threshold::bytes(4))
+            .unwrap();
+        let mut n1 = win.post_buffer(vec![0; 4]).unwrap();
+        let mut n2 = win.post_buffer(vec![0; 4]).unwrap();
+        let completer = frag(5, 1, 4, 0, vec![7; 4]);
+        assert_eq!(
+            ep.deliver(&completer),
+            DeliverResult::Ok {
+                completed_epoch: true
+            }
+        );
+        assert_eq!(ep.deliver(&completer), DeliverResult::Duplicate);
+        assert_eq!(n1.poll().unwrap().data(), &[7; 4]);
+        assert!(n2.poll().is_none(), "duplicate must not complete epoch 1");
+        let s = ep.stats();
+        assert_eq!(s.duplicates_dropped, 1);
+        assert_eq!(s.fragments_accepted, 1, "duplicate not counted accepted");
+        assert_eq!(s.fragments_discarded, 0, "duplicate not counted discarded");
+        assert_eq!(s.epochs_completed, 1);
+    }
+
+    #[test]
+    fn dedup_window_applies_to_batches() {
+        let ep = RvmaEndpoint::with_config(
+            NodeAddr::node(1),
+            EndpointConfig {
+                dedup_window: 16,
+                ..Default::default()
+            },
+        );
+        let win = ep
+            .init_window(VirtAddr::new(5), Threshold::bytes(8))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 8]).unwrap();
+        let frags = vec![
+            frag(5, 1, 8, 0, vec![1; 4]),
+            frag(5, 1, 8, 0, vec![1; 4]), // duplicated mid-batch
+            frag(5, 1, 8, 4, vec![2; 4]),
+        ];
+        ep.deliver_batch(&frags, &mut |_, _| panic!("no nacks expected"));
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+        let s = ep.stats();
+        assert_eq!(s.duplicates_dropped, 1);
+        assert_eq!(s.fragments_accepted, 2);
+        assert_eq!(s.epochs_completed, 1);
     }
 
     #[test]

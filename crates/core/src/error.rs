@@ -75,6 +75,17 @@ pub enum RvmaError {
     /// The operation is not valid for the mailbox's mode (e.g. an offset
     /// put into a receiver-managed stream mailbox).
     WrongMode,
+    /// The reliable-delivery layer exhausted its retry budget before every
+    /// fragment of the operation was acknowledged (e.g. the destination
+    /// endpoint crashed or the loss rate exceeds what the budget covers).
+    RetryExhausted {
+        /// Retransmission rounds attempted.
+        attempts: u32,
+        /// Fragments acknowledged before giving up.
+        acked: u64,
+        /// Total fragments the operation comprises.
+        total: u64,
+    },
 }
 
 impl fmt::Display for RvmaError {
@@ -100,6 +111,14 @@ impl fmt::Display for RvmaError {
             RvmaError::UnknownDestination => f.write_str("destination endpoint not reachable"),
             RvmaError::LutFull => f.write_str("NIC lookup table is full"),
             RvmaError::WrongMode => f.write_str("operation invalid for this mailbox mode"),
+            RvmaError::RetryExhausted {
+                attempts,
+                acked,
+                total,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts ({acked}/{total} fragments acked)"
+            ),
         }
     }
 }

@@ -62,6 +62,7 @@ pub mod matching;
 pub mod mpix;
 pub mod notify;
 pub mod pool;
+pub mod retry;
 pub mod transport;
 pub mod transport_lossy;
 pub mod transport_threaded;
@@ -75,11 +76,15 @@ pub use lut::LUT_SHARDS;
 pub use mailbox::{EpochProgress, Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
 pub use matching::{MatchEntry, MatchList, MatchStats, ANY_SOURCE};
 pub use mpix::MpixWindow;
-pub use notify::{wait_all, wait_any, Notification, NotificationSlot};
+pub use notify::{wait_all, wait_any, wait_any_timeout, Notification, NotificationSlot};
 pub use pool::{BufferPool, PayloadPool, PoolStats};
+pub use retry::{
+    DedupWindow, FaultInjector, FaultStats, PutReport, ReliableInitiator, RetryConfig,
+    DEFAULT_DEDUP_WINDOW, DEFAULT_RETRY_BUDGET,
+};
 pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
-pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork};
+pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork, TransmitOutcome};
 pub use transport_threaded::{
     AsyncInitiator, AsyncNetwork, PutBatch, RouteStats, DEFAULT_DOORBELL_FRAGS,
 };
-pub use window::Window;
+pub use window::{EpochOutcome, Window};

@@ -41,6 +41,7 @@
 use crate::addr::VirtAddr;
 use crate::buffer::{CompletedBuffer, EpochType, PostedBuffer};
 use crate::error::{NackReason, Result, RvmaError};
+use crate::retry::DedupWindow;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -80,6 +81,9 @@ pub enum DeliveryOutcome {
     Accepted,
     /// Fragment written and it completed the active epoch.
     Completed,
+    /// Fragment already accepted earlier (per the mailbox's dedup window);
+    /// dropped without touching the buffer or the threshold counters.
+    Duplicate,
     /// Fragment discarded; carries the reason a NACK would report.
     Discarded(NackReason),
 }
@@ -187,11 +191,28 @@ pub struct Mailbox {
     /// Active buffer parked by `close()` while writers were still copying
     /// into it; dropped when the last writer finishes.
     draining: Option<PostedBuffer>,
+    /// Receiver-side duplicate suppression (the reliability layer's dedup
+    /// window), `None` when disabled. Deliberately *not* cleared on epoch
+    /// rotation: a replayed final fragment of epoch N must be recognized
+    /// after the rotation it triggered, not counted into epoch N + 1.
+    dedup: Option<DedupWindow>,
 }
 
 impl Mailbox {
-    /// A new, open mailbox with no buffers posted.
+    /// A new, open mailbox with no buffers posted and dedup disabled.
     pub fn new(vaddr: VirtAddr, mode: MailboxMode, retain: usize) -> Self {
+        Self::with_dedup(vaddr, mode, retain, 0)
+    }
+
+    /// A new, open mailbox with a duplicate-suppression window remembering
+    /// up to `dedup_window` operations (0 disables dedup, preserving the
+    /// unprotected lossy-boundary semantics).
+    pub fn with_dedup(
+        vaddr: VirtAddr,
+        mode: MailboxMode,
+        retain: usize,
+        dedup_window: usize,
+    ) -> Self {
         Mailbox {
             vaddr,
             mode,
@@ -206,6 +227,7 @@ impl Mailbox {
             inflight: Vec::new(),
             pending_completion: false,
             draining: None,
+            dedup: (dedup_window > 0).then(|| DedupWindow::new(dedup_window)),
         }
     }
 
@@ -278,6 +300,14 @@ impl Mailbox {
         if self.closed {
             return BeginOutcome::Done(DeliveryOutcome::Discarded(NackReason::WindowClosed));
         }
+        // Dedup before any buffer-state check: a retransmitted copy of a
+        // fragment whose epoch already completed (and left no buffer
+        // posted) must report Duplicate, not a spurious NACK.
+        if let Some(d) = &self.dedup {
+            if d.is_duplicate(op_key, offset) {
+                return BeginOutcome::Done(DeliveryOutcome::Duplicate);
+            }
+        }
         let (buf_len, threshold) = match self.queue.front() {
             Some(active) => (active.data.len(), active.threshold),
             None => {
@@ -299,6 +329,12 @@ impl Mailbox {
         }
         if self.mode == MailboxMode::Managed {
             self.cursor = end;
+        }
+        // Accepted: remember the fragment so a retransmitted copy is
+        // suppressed (recorded only now, after validation — a NACKed
+        // fragment must stay retryable).
+        if let Some(d) = &mut self.dedup {
+            d.record(op_key, offset);
         }
 
         // Counting. (In Managed mode the cursor reservation above already
@@ -387,6 +423,9 @@ impl Mailbox {
         let mut bytes_local = self.progress.bytes();
         let mut ops_local = self.progress.ops();
         let (mut bytes_delta, mut ops_delta) = (0u64, 0u64);
+        // Taken out of `self` for the loop so recording can happen while
+        // the active buffer is mutably borrowed; restored on every exit.
+        let mut dedup = self.dedup.take();
         for (op_key, op_total_len, offset, data) in frags {
             if self.closed {
                 on_outcome(
@@ -394,6 +433,12 @@ impl Mailbox {
                     data.len(),
                 );
                 continue;
+            }
+            if let Some(d) = &dedup {
+                if d.is_duplicate(op_key, offset) {
+                    on_outcome(DeliveryOutcome::Duplicate, data.len());
+                    continue;
+                }
             }
             // One front_mut lookup per fragment; `cursor` is a disjoint
             // field, so updating it while the active borrow lives is fine.
@@ -421,6 +466,9 @@ impl Mailbox {
             };
             if self.mode == MailboxMode::Managed {
                 self.cursor = end;
+            }
+            if let Some(d) = &mut dedup {
+                d.record(op_key, offset);
             }
             if !data.is_empty() {
                 active.data[place_at..end].copy_from_slice(data);
@@ -459,6 +507,7 @@ impl Mailbox {
             }
             on_outcome(DeliveryOutcome::Accepted, data.len());
         }
+        self.dedup = dedup;
         self.flush_progress(&mut bytes_delta, &mut ops_delta);
         true
     }
@@ -892,6 +941,72 @@ mod tests {
         let buf = n.poll().unwrap();
         assert_eq!(buf.len(), 4);
         assert_eq!(buf.data(), &[2; 4]);
+    }
+
+    #[test]
+    fn dedup_suppresses_replayed_fragments() {
+        let mut m = Mailbox::with_dedup(VirtAddr::new(0xAB), MailboxMode::Steered, 4, 8);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        assert_eq!(m.deliver(key(1), 8, 0, &[1; 4]), DeliveryOutcome::Accepted);
+        // Replay of an accepted fragment: no counting, no completion.
+        assert_eq!(m.deliver(key(1), 8, 0, &[1; 4]), DeliveryOutcome::Duplicate);
+        assert_eq!(m.bytes_this_epoch(), 4);
+        assert!(n.poll().is_none());
+        assert_eq!(m.deliver(key(1), 8, 4, &[2; 4]), DeliveryOutcome::Completed);
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn dedup_survives_epoch_rotation() {
+        // A duplicated *final* fragment must not complete the next epoch
+        // early — the exact failure mode the lossy boundary documents.
+        let mut m = Mailbox::with_dedup(VirtAddr::new(0xAB), MailboxMode::Steered, 4, 8);
+        let _n1 = post(&mut m, 4, Threshold::bytes(4));
+        let mut n2 = post(&mut m, 4, Threshold::bytes(4));
+        assert_eq!(m.deliver(key(1), 4, 0, &[1; 4]), DeliveryOutcome::Completed);
+        // The replayed completer arrives after rotation: suppressed, and
+        // epoch 1's buffer is untouched.
+        assert_eq!(m.deliver(key(1), 4, 0, &[1; 4]), DeliveryOutcome::Duplicate);
+        assert_eq!(m.bytes_this_epoch(), 0);
+        assert!(n2.poll().is_none());
+        assert_eq!(m.deliver(key(2), 4, 0, &[2; 4]), DeliveryOutcome::Completed);
+        assert_eq!(n2.poll().unwrap().data(), &[2; 4]);
+    }
+
+    #[test]
+    fn dedup_does_not_shield_nacked_fragments() {
+        // A fragment discarded for lack of a buffer is NOT recorded: when
+        // the receiver finally posts, a retransmit must be deliverable.
+        let mut m = Mailbox::with_dedup(VirtAddr::new(0xAB), MailboxMode::Steered, 4, 8);
+        assert_eq!(
+            m.deliver(key(1), 4, 0, &[7; 4]),
+            DeliveryOutcome::Discarded(NackReason::NoBufferPosted)
+        );
+        let mut n = post(&mut m, 4, Threshold::bytes(4));
+        assert_eq!(m.deliver(key(1), 4, 0, &[7; 4]), DeliveryOutcome::Completed);
+        assert_eq!(n.poll().unwrap().data(), &[7; 4]);
+    }
+
+    #[test]
+    fn dedup_applies_on_exclusive_run_path() {
+        let mut m = Mailbox::with_dedup(VirtAddr::new(0xAB), MailboxMode::Steered, 4, 8);
+        let mut n = post(&mut m, 8, Threshold::bytes(8));
+        let frags: Vec<(OpKey, u64, usize, &[u8])> = vec![
+            (key(1), 8, 0, &[1; 4]),
+            (key(1), 8, 0, &[1; 4]), // duplicated in the same run
+            (key(1), 8, 4, &[2; 4]),
+        ];
+        let mut outcomes = Vec::new();
+        assert!(m.deliver_run_exclusive(frags.into_iter(), &mut |o, _| outcomes.push(o)));
+        assert_eq!(
+            outcomes,
+            vec![
+                DeliveryOutcome::Accepted,
+                DeliveryOutcome::Duplicate,
+                DeliveryOutcome::Completed,
+            ]
+        );
+        assert_eq!(n.poll().unwrap().data(), &[1, 1, 1, 1, 2, 2, 2, 2]);
     }
 
     #[test]

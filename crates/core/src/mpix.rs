@@ -39,7 +39,7 @@ use crate::buffer::{CompletedBuffer, Threshold};
 use crate::endpoint::RvmaEndpoint;
 use crate::error::{Result, RvmaError};
 use crate::notify::Notification;
-use crate::window::Window;
+use crate::window::{EpochOutcome, Window};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -118,6 +118,28 @@ impl MpixWindow {
         self.pending.pop_front();
         self.repost();
         Some(buf)
+    }
+
+    /// Fence with fault recovery: wait up to `timeout` for the oldest open
+    /// epoch and, on expiry, force it closed with whatever arrived instead
+    /// of wedging ([`Window::recover_timeout`] — the paper's Secs. IV-E/
+    /// IV-F recovery story at the MPI level). Either way the bucket depth
+    /// is maintained, so initiators never stall on an unposted epoch.
+    ///
+    /// On error (e.g. the window closed underneath the fence) the epoch
+    /// stays open and queued for the next fence.
+    pub fn fence_recover(&mut self, timeout: Duration) -> Result<EpochOutcome> {
+        let mut note = self.pending.pop_front().expect("depth >= 1");
+        match self.window.recover_timeout(&mut note, timeout) {
+            Ok(outcome) => {
+                self.repost();
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.pending.push_front(note);
+                Err(e)
+            }
+        }
     }
 
     /// Force the current epoch closed with whatever has arrived
@@ -243,6 +265,28 @@ mod tests {
         let buf = win.flush_partial().unwrap();
         assert_eq!(buf.len(), 10);
         assert_eq!(buf.data(), &[9; 10]);
+    }
+
+    #[test]
+    fn fence_recover_rotates_a_wedged_epoch() {
+        // A lossy fabric loses most of the epoch; fence_recover hands the
+        // partial buffer over after the timeout and the window keeps going.
+        let (net, _ep, mut win) = setup(2);
+        let peer = net.initiator(NodeAddr::node(1));
+        peer.put_at(NodeAddr::node(0), VirtAddr::new(0x10), 0, &[5; 12])
+            .unwrap();
+        let outcome = win.fence_recover(Duration::from_millis(10)).unwrap();
+        assert!(outcome.is_rewound());
+        assert_eq!(outcome.into_buffer().data(), &[5; 12]);
+        assert_eq!(win.window().posted_buffers(), 2, "depth maintained");
+        // The next epoch completes normally.
+        peer.put(NodeAddr::node(0), VirtAddr::new(0x10), &[6; 32])
+            .unwrap();
+        match win.fence_recover(Duration::from_secs(5)).unwrap() {
+            EpochOutcome::Completed(buf) => assert_eq!(buf.data(), &[6; 32]),
+            EpochOutcome::Rewound(_) => panic!("epoch was complete"),
+        }
+        assert_eq!(win.epoch(), 2);
     }
 
     #[test]

@@ -221,6 +221,37 @@ pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedB
     }
 }
 
+/// [`wait_any`] with a deadline: returns `None` once `timeout` elapses with
+/// no completion (or when every notification was already consumed). The
+/// escape hatch a fault-tolerant consumer needs — on a lossy fabric "any of
+/// these will complete" is no longer a certainty.
+pub fn wait_any_timeout(
+    notifications: &mut [Notification],
+    timeout: Duration,
+) -> Option<(usize, CompletedBuffer)> {
+    if notifications.iter().all(Notification::is_consumed) {
+        return None;
+    }
+    let deadline = std::time::Instant::now() + timeout;
+    let mut spins = 0u32;
+    loop {
+        for (i, n) in notifications.iter_mut().enumerate() {
+            if let Some(buf) = n.poll() {
+                return Some((i, buf));
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return None;
+        }
+        spins += 1;
+        if spins.is_multiple_of(1024) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
 /// Collect the completions of *all* given notifications, blocking until
 /// each fires, and returning buffers in slice order. Panics if any
 /// notification was already consumed.
@@ -352,6 +383,19 @@ mod tests {
         let _ = ns[0].poll();
         assert!(wait_any(&mut ns).is_none());
         assert!(wait_any(&mut []).is_none());
+    }
+
+    #[test]
+    fn wait_any_timeout_expires_without_consuming() {
+        let slots: Vec<_> = (0..3).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        assert!(wait_any_timeout(&mut ns, Duration::from_millis(10)).is_none());
+        assert!(ns.iter().all(|n| !n.is_consumed()));
+        // A completion arriving later is still observable.
+        slots[1].complete(completed(2));
+        let (idx, buf) = wait_any_timeout(&mut ns, Duration::from_secs(5)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(buf.data(), &[2; 8]);
     }
 
     #[test]

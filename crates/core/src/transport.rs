@@ -208,6 +208,10 @@ impl Initiator {
         for f in &frags {
             match ep.deliver(f) {
                 DeliverResult::Ok { completed_epoch } => completed |= completed_epoch,
+                // The loopback never duplicates, but an endpoint with a
+                // dedup window can report one if the application replays
+                // an op id; it is an ack, not a failure.
+                DeliverResult::Duplicate => {}
                 DeliverResult::Nack(r) => nack = nack.or(Some(r)),
                 DeliverResult::Dropped(_) => {
                     // NACKs disabled at the target: initiator learns nothing.

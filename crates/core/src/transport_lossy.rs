@@ -1,5 +1,5 @@
-//! Lossy/duplicating delivery wrapper — documenting RVMA's reliability
-//! boundary.
+//! Lossy/duplicating/reordering delivery wrapper — RVMA's reliability
+//! boundary, and the lab bench for the recovery layer above it.
 //!
 //! RVMA (like RDMA) is specified over a **reliable** fabric: HPC networks
 //! retransmit at the link layer, so the NIC never sees drops or duplicates.
@@ -9,99 +9,277 @@
 //! * a **dropped** fragment means the byte/op counter never reaches the
 //!   threshold — the epoch simply never completes (detectable with
 //!   [`Notification::wait_timeout`], recoverable with
-//!   [`Window::inc_epoch`]);
+//!   [`Window::recover_timeout`]);
 //! * a **duplicated** fragment is counted twice — the epoch can complete
-//!   *early*, before all distinct bytes have arrived.
+//!   *early*, before all distinct bytes have arrived (prevented by the
+//!   receiver-side [`DedupWindow`](crate::retry::DedupWindow) when
+//!   [`EndpointConfig::dedup_window`] is set);
+//! * a **reordered/delayed** fragment arrives behind younger traffic —
+//!   harmless to Steered-mode placement, but it can race a retransmitted
+//!   copy of itself (again absorbed by dedup);
+//! * a **crashed** endpoint black-holes everything — the initiator's retry
+//!   budget turns the silence into [`RvmaError::RetryExhausted`].
 //!
-//! [`LossyNetwork`] exists to make those statements testable and explicit,
-//! and to let applications exercise their timeout/recovery paths. It is not
-//! a transport you would run real traffic over.
+//! [`LossyNetwork`] makes those statements testable: with
+//! [`FaultModel::NONE`] and dedup off it behaves like the reliable
+//! loopback, with faults enabled it exercises every recovery path in
+//! [`crate::retry`]. Use [`LossyNetwork::initiator`] for the raw
+//! (fire-and-forget, fault-exposed) initiator and
+//! [`LossyNetwork::reliable_initiator`] for the retransmitting one. It is
+//! not a transport you would run real traffic over.
 //!
 //! [`Notification::wait_timeout`]: crate::notify::Notification::wait_timeout
-//! [`Window::inc_epoch`]: crate::window::Window::inc_epoch
+//! [`Window::recover_timeout`]: crate::window::Window::recover_timeout
+//! [`EndpointConfig::dedup_window`]: crate::endpoint::EndpointConfig
+//! [`RvmaError::RetryExhausted`]: crate::error::RvmaError::RetryExhausted
 
 use crate::addr::{NodeAddr, VirtAddr};
-use crate::endpoint::{DeliverResult, Fragment, RvmaEndpoint};
+use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
+pub use crate::retry::FaultModel;
+use crate::retry::{FaultDecision, FaultInjector, FaultStats, ReliableInitiator, RetryConfig};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Fault model applied to each fragment independently.
-#[derive(Debug, Clone, Copy)]
-pub struct FaultModel {
-    /// Probability a fragment is silently dropped.
-    pub drop_p: f64,
-    /// Probability a delivered fragment is delivered twice.
-    pub dup_p: f64,
+/// A fragment held back by a reorder/delay fault, released after
+/// `remaining` further transmissions.
+#[derive(Debug)]
+struct HeldFragment {
+    dest: NodeAddr,
+    frag: Fragment,
+    remaining: u32,
 }
 
-impl FaultModel {
-    /// No faults (behaves like the reliable loopback).
-    pub const NONE: FaultModel = FaultModel {
-        drop_p: 0.0,
-        dup_p: 0.0,
-    };
+/// What one call to [`LossyNetwork::transmit`] did with the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmitOutcome {
+    /// Delivered to the endpoint; the second result is present when a
+    /// duplication fault delivered the fragment twice.
+    Delivered(DeliverResult, Option<DeliverResult>),
+    /// Dropped by the fabric (loss fault, or the destination crashed).
+    /// The initiator sees nothing — only a retry budget or a timeout can
+    /// surface this.
+    Lost,
+    /// Held back by a reorder/delay fault; it will be delivered after
+    /// later transmissions age it out (or at [`LossyNetwork::flush_delayed`]).
+    Held,
 }
 
-/// Per-network fault counters.
-#[derive(Debug, Default)]
-struct FaultStats {
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-}
-
-/// An unreliable in-process network (fragments dropped/duplicated with
-/// seeded randomness). MTU-fragmenting, in-order apart from the faults.
+/// An unreliable in-process network (fragments dropped, duplicated,
+/// reordered, or delayed with seeded randomness; endpoints can crash).
+/// MTU-fragmenting, in-order apart from the faults.
 #[derive(Debug)]
 pub struct LossyNetwork {
     endpoints: RwLock<HashMap<NodeAddr, Arc<RvmaEndpoint>>>,
     mtu: usize,
     model: FaultModel,
-    rng: Mutex<StdRng>,
-    stats: FaultStats,
+    injector: Mutex<FaultInjector>,
+    /// Fragments parked by reorder/delay faults, aged by later transmits.
+    held: Mutex<Vec<HeldFragment>>,
+    /// Destinations that crashed (explicitly or via the fault model):
+    /// everything sent to them — including already-held fragments — is
+    /// silently dropped.
+    crashed: RwLock<HashSet<NodeAddr>>,
+    stats: Arc<FaultStats>,
+    endpoint_config: EndpointConfig,
 }
 
 impl LossyNetwork {
-    /// Build with an MTU, fault model, and RNG seed.
+    /// Build with an MTU, fault model, and RNG seed; endpoints get the
+    /// default [`EndpointConfig`] (dedup off — the unprotected boundary).
     ///
     /// # Panics
     /// Panics if `mtu` is zero or a probability is outside `[0, 1]`.
     pub fn new(mtu: usize, model: FaultModel, seed: u64) -> Arc<Self> {
+        Self::with_config(mtu, model, seed, EndpointConfig::default())
+    }
+
+    /// Build with an explicit endpoint configuration — set
+    /// `endpoint_config.dedup_window > 0` to arm the receiver half of the
+    /// reliability layer on every endpoint this network creates.
+    ///
+    /// # Panics
+    /// Panics if `mtu` is zero or a probability is outside `[0, 1]`.
+    pub fn with_config(
+        mtu: usize,
+        model: FaultModel,
+        seed: u64,
+        endpoint_config: EndpointConfig,
+    ) -> Arc<Self> {
         assert!(mtu > 0, "MTU must be positive");
-        assert!((0.0..=1.0).contains(&model.drop_p), "drop_p in [0,1]");
-        assert!((0.0..=1.0).contains(&model.dup_p), "dup_p in [0,1]");
+        let stats = Arc::new(FaultStats::default());
         Arc::new(LossyNetwork {
             endpoints: RwLock::new(HashMap::new()),
             mtu,
             model,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            stats: FaultStats::default(),
+            injector: Mutex::new(FaultInjector::new(model, seed, stats.clone())),
+            held: Mutex::new(Vec::new()),
+            crashed: RwLock::new(HashSet::new()),
+            stats,
+            endpoint_config,
         })
     }
 
-    /// Create and attach an endpoint.
+    /// Create and attach an endpoint (configured per the network's
+    /// [`EndpointConfig`]).
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
-        let ep = RvmaEndpoint::new(addr);
+        let ep = RvmaEndpoint::with_config(addr, self.endpoint_config.clone());
         self.endpoints.write().insert(addr, ep.clone());
         ep
     }
 
-    /// Fragments dropped so far.
+    /// True when `addr` has an attached endpoint (crashed or not).
+    pub fn has_endpoint(&self, addr: NodeAddr) -> bool {
+        self.endpoints.read().contains_key(&addr)
+    }
+
+    /// The network's MTU.
+    pub fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    /// The fault model in force.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Fragments dropped so far (including black-holed by crashes).
     pub fn dropped(&self) -> u64 {
-        self.stats.dropped.load(Ordering::Relaxed)
+        self.stats.dropped()
     }
 
     /// Fragments duplicated so far.
     pub fn duplicated(&self) -> u64 {
-        self.stats.duplicated.load(Ordering::Relaxed)
+        self.stats.duplicated()
     }
 
-    /// An initiator bound to `src`.
+    /// Fragments reordered or delayed so far.
+    pub fn deferred(&self) -> u64 {
+        self.stats.deferred()
+    }
+
+    /// The shared fault counters.
+    pub fn fault_stats(&self) -> Arc<FaultStats> {
+        self.stats.clone()
+    }
+
+    /// Crash an endpoint: from now on every fragment addressed to it —
+    /// including ones already held by reorder/delay faults — is silently
+    /// dropped. The endpoint stays attached (its LUT and mailboxes are
+    /// intact), modelling a NIC that stopped responding, not one that was
+    /// deregistered.
+    pub fn crash_endpoint(&self, addr: NodeAddr) {
+        self.crashed.write().insert(addr);
+    }
+
+    /// True when `addr` has crashed.
+    pub fn is_crashed(&self, addr: NodeAddr) -> bool {
+        self.crashed.read().contains(&addr)
+    }
+
+    /// Push one fragment through the fault dice and (maybe) deliver it.
+    /// Every call first ages the held-fragment queue, releasing fragments
+    /// whose deferral has expired — that is what makes a deferral a
+    /// *reorder*: younger transmissions overtake it.
+    ///
+    /// Zero-length fragments bypass the dice entirely (they are pure
+    /// control traffic — one countable op, no payload — and PR 2 fixed the
+    /// threaded transport to treat them deterministically; a "dropped"
+    /// empty put returning `Ok` indistinguishably from a delivered one was
+    /// the bug). They still black-hole against a crashed destination.
+    pub fn transmit(&self, dest: NodeAddr, frag: Fragment) -> TransmitOutcome {
+        self.age_held();
+        if self.is_crashed(dest) {
+            self.stats.note_blackhole();
+            return TransmitOutcome::Lost;
+        }
+        let decision = if frag.data.is_empty() {
+            FaultDecision::CLEAN
+        } else {
+            self.injector.lock().roll()
+        };
+        if decision.crash {
+            self.crashed.write().insert(dest);
+            return TransmitOutcome::Lost;
+        }
+        if decision.drop {
+            return TransmitOutcome::Lost;
+        }
+        if decision.defer_spans > 0 {
+            self.held.lock().push(HeldFragment {
+                dest,
+                frag,
+                remaining: decision.defer_spans,
+            });
+            return TransmitOutcome::Held;
+        }
+        let first = self.deliver_to(dest, &frag);
+        let second = decision.duplicate.then(|| self.deliver_to(dest, &frag));
+        TransmitOutcome::Delivered(first, second)
+    }
+
+    /// Deliver every held fragment immediately, regardless of remaining
+    /// deferral (the "link finally drained" event). Returns how many were
+    /// delivered (crashed destinations still swallow theirs).
+    pub fn flush_delayed(&self) -> usize {
+        let all: Vec<HeldFragment> = self.held.lock().drain(..).collect();
+        let mut delivered = 0;
+        for h in all {
+            if self.is_crashed(h.dest) {
+                self.stats.note_dropped_in_flight();
+                continue;
+            }
+            self.deliver_to(h.dest, &h.frag);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Age the held queue by one transmission; deliver what expired.
+    fn age_held(&self) {
+        let due: Vec<HeldFragment> = {
+            let mut held = self.held.lock();
+            for h in held.iter_mut() {
+                h.remaining = h.remaining.saturating_sub(1);
+            }
+            let mut due = Vec::new();
+            held.retain_mut(|h| {
+                if h.remaining == 0 {
+                    due.push(HeldFragment {
+                        dest: h.dest,
+                        frag: h.frag.clone(),
+                        remaining: 0,
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for h in due {
+            if self.is_crashed(h.dest) {
+                self.stats.note_dropped_in_flight();
+                continue;
+            }
+            // Released fragments deliver as-is: their fault was already
+            // rolled (and counted) when they were deferred.
+            self.deliver_to(h.dest, &h.frag);
+        }
+    }
+
+    fn deliver_to(&self, dest: NodeAddr, frag: &Fragment) -> DeliverResult {
+        match self.endpoints.read().get(&dest).cloned() {
+            Some(ep) => ep.deliver(frag),
+            None => DeliverResult::Nack(NackReason::NoSuchMailbox),
+        }
+    }
+
+    /// An initiator bound to `src` — raw fire-and-forget puts with the
+    /// fault model applied and no recovery.
     pub fn initiator(self: &Arc<Self>, src: NodeAddr) -> LossyInitiator {
         LossyInitiator {
             net: self.clone(),
@@ -109,9 +287,41 @@ impl LossyNetwork {
             next_op: AtomicU64::new(1),
         }
     }
+
+    /// A retransmitting initiator bound to `src` (default
+    /// [`RetryConfig`]).
+    ///
+    /// # Panics
+    /// Panics unless the network was built with
+    /// `endpoint_config.dedup_window > 0`: retransmission without
+    /// receiver-side dedup re-introduces the duplicate-overcount bug the
+    /// reliability layer exists to fix (a deferred copy and its retransmit
+    /// would both count).
+    pub fn reliable_initiator(self: &Arc<Self>, src: NodeAddr) -> ReliableInitiator {
+        self.reliable_initiator_with(src, RetryConfig::default())
+    }
+
+    /// A retransmitting initiator with an explicit retry policy.
+    ///
+    /// # Panics
+    /// See [`reliable_initiator`](Self::reliable_initiator).
+    pub fn reliable_initiator_with(
+        self: &Arc<Self>,
+        src: NodeAddr,
+        retry: RetryConfig,
+    ) -> ReliableInitiator {
+        assert!(
+            self.endpoint_config.dedup_window > 0,
+            "reliable initiator requires receiver-side dedup \
+             (LossyNetwork::with_config with dedup_window > 0)"
+        );
+        ReliableInitiator::new(self.clone(), src, retry)
+    }
 }
 
-/// Initiator over a [`LossyNetwork`].
+/// Raw initiator over a [`LossyNetwork`]: one transmission per fragment,
+/// faults land where they land. Use
+/// [`LossyNetwork::reliable_initiator`] for delivery guarantees.
 #[derive(Debug)]
 pub struct LossyInitiator {
     net: Arc<LossyNetwork>,
@@ -121,64 +331,66 @@ pub struct LossyInitiator {
 
 impl LossyInitiator {
     /// Put with the fault model applied per fragment. Returns how many
-    /// fragments were actually delivered (including duplicates).
+    /// fragment *deliveries* reached a buffer (duplicates count twice,
+    /// held fragments not at all — they land later). Stops at the first
+    /// NACK: the target refused the operation, so transmitting its
+    /// remaining fragments would only waste fabric and mis-count.
     pub fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<u64> {
-        let ep = self
-            .net
-            .endpoints
-            .read()
-            .get(&dest)
-            .cloned()
-            .ok_or(RvmaError::UnknownDestination)?;
+        self.put_at(dest, vaddr, 0, data)
+    }
+
+    /// [`put`](LossyInitiator::put) with an explicit buffer offset.
+    pub fn put_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<u64> {
+        if !self.net.has_endpoint(dest) {
+            return Err(RvmaError::UnknownDestination);
+        }
         let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
         let payload = Bytes::copy_from_slice(data);
         let total = payload.len() as u64;
+        let mtu = self.net.mtu;
+        // A zero-byte put is one empty fragment (one countable op).
+        let ranges: Vec<(usize, usize)> = if payload.is_empty() {
+            vec![(0, 0)]
+        } else {
+            (0..payload.len())
+                .step_by(mtu)
+                .map(|s| (s, (s + mtu).min(payload.len())))
+                .collect()
+        };
         let mut delivered = 0u64;
-        let mut nack: Option<NackReason> = None;
-
-        let mut start = 0usize;
-        loop {
-            let end = (start + self.net.mtu).min(payload.len());
+        for (s, e) in ranges {
             let frag = Fragment {
                 initiator: self.src,
                 op_id,
                 dst_vaddr: vaddr,
                 op_total_len: total,
-                offset: start,
-                data: payload.slice(start..end),
+                offset: offset + s,
+                data: payload.slice(s..e),
             };
-            let (drop, dup) = {
-                let mut rng = self.net.rng.lock();
-                (
-                    rng.random_bool(self.net.model.drop_p),
-                    rng.random_bool(self.net.model.dup_p),
-                )
-            };
-            if drop {
-                self.net.stats.dropped.fetch_add(1, Ordering::Relaxed);
-            } else {
-                let copies = if dup {
-                    self.net.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-                    2
-                } else {
-                    1
-                };
-                for _ in 0..copies {
-                    match ep.deliver(&frag) {
-                        DeliverResult::Nack(r) => nack = nack.or(Some(r)),
-                        _ => delivered += 1,
+            match self.net.transmit(dest, frag) {
+                TransmitOutcome::Delivered(first, second) => {
+                    for r in std::iter::once(first).chain(second) {
+                        match r {
+                            DeliverResult::Ok { .. } => delivered += 1,
+                            // Deduped at the receiver: landed earlier, not
+                            // a fresh delivery.
+                            DeliverResult::Duplicate => {}
+                            DeliverResult::Nack(r) => return Err(RvmaError::Nacked(r)),
+                            // NACKs disabled: silent discard.
+                            DeliverResult::Dropped(_) => {}
+                        }
                     }
                 }
+                TransmitOutcome::Lost | TransmitOutcome::Held => {}
             }
-            if end >= payload.len() {
-                break;
-            }
-            start = end;
         }
-        match nack {
-            Some(r) => Err(RvmaError::Nacked(r)),
-            None => Ok(delivered),
-        }
+        Ok(delivered)
     }
 }
 
@@ -190,6 +402,20 @@ mod tests {
 
     fn setup(model: FaultModel, seed: u64) -> (Arc<LossyNetwork>, Arc<RvmaEndpoint>) {
         let net = LossyNetwork::new(64, model, seed);
+        let ep = net.add_endpoint(NodeAddr::node(0));
+        (net, ep)
+    }
+
+    fn setup_dedup(model: FaultModel, seed: u64) -> (Arc<LossyNetwork>, Arc<RvmaEndpoint>) {
+        let net = LossyNetwork::with_config(
+            64,
+            model,
+            seed,
+            EndpointConfig {
+                dedup_window: 64,
+                ..Default::default()
+            },
+        );
         let ep = net.add_endpoint(NodeAddr::node(0));
         (net, ep)
     }
@@ -217,7 +443,7 @@ mod tests {
         let (net, ep) = setup(
             FaultModel {
                 drop_p: 1.0,
-                dup_p: 0.0,
+                ..FaultModel::NONE
             },
             2,
         );
@@ -240,13 +466,13 @@ mod tests {
 
     #[test]
     fn duplicates_overcount_and_complete_early() {
-        // 100% duplication: the byte counter doubles, so the threshold is
-        // reached after half the distinct payload — the documented reason
-        // RVMA requires a reliable (dedup-ing) fabric.
+        // 100% duplication WITHOUT dedup: the byte counter doubles, so the
+        // threshold is reached after half the distinct payload — the
+        // documented reason RVMA requires a reliable (dedup-ing) fabric.
         let (net, ep) = setup(
             FaultModel {
-                drop_p: 0.0,
                 dup_p: 1.0,
+                ..FaultModel::NONE
             },
             3,
         );
@@ -266,12 +492,40 @@ mod tests {
     }
 
     #[test]
+    fn dedup_window_prevents_early_completion() {
+        // The same duplication storm as above, with the receiver half of
+        // the reliability layer armed: byte-exact, no early completion.
+        let (net, ep) = setup_dedup(
+            FaultModel {
+                dup_p: 1.0,
+                ..FaultModel::NONE
+            },
+            3,
+        );
+        let win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(128))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 128]).unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        init.put(NodeAddr::node(0), VirtAddr::new(1), &[7; 64])
+            .unwrap();
+        assert!(n.poll().is_none(), "half the payload is not an epoch");
+        init.put_at(NodeAddr::node(0), VirtAddr::new(1), 64, &[8; 64])
+            .unwrap();
+        let buf = n.poll().expect("epoch completes on distinct bytes only");
+        assert_eq!(&buf.full_buffer()[..64], &[7; 64]);
+        assert_eq!(&buf.full_buffer()[64..], &[8; 64]);
+        assert_eq!(ep.stats().duplicates_dropped, net.duplicated());
+    }
+
+    #[test]
     fn partial_drop_rates_are_seed_deterministic() {
         let run = |seed| {
             let (net, ep) = setup(
                 FaultModel {
                     drop_p: 0.3,
                     dup_p: 0.1,
+                    ..FaultModel::NONE
                 },
                 seed,
             );
@@ -296,9 +550,172 @@ mod tests {
             64,
             FaultModel {
                 drop_p: 1.5,
-                dup_p: 0.0,
+                ..FaultModel::NONE
             },
             0,
         );
+    }
+
+    #[test]
+    fn nack_stops_the_operation() {
+        // Regression: a NACK on the first fragment must abort the put —
+        // previously the remaining fragments were still fragmented,
+        // delivered, and counted.
+        let (net, ep) = setup(FaultModel::NONE, 4);
+        // Window exists but has no buffer posted: every fragment NACKs.
+        let _win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(256))
+            .unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        let err = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[7; 256])
+            .unwrap_err();
+        assert_eq!(err, RvmaError::Nacked(NackReason::NoBufferPosted));
+        assert_eq!(
+            ep.stats().fragments_discarded,
+            1,
+            "only the first fragment reaches the endpoint"
+        );
+    }
+
+    #[test]
+    fn zero_length_put_bypasses_fault_dice() {
+        // Regression: an empty put used to roll the dice on its single
+        // empty fragment, making a "dropped" zero-byte put return Ok(0)
+        // indistinguishable from a delivered one. Now it is deterministic
+        // (matching the threaded transport's zero-length semantics).
+        let (net, ep) = setup(
+            FaultModel {
+                drop_p: 1.0,
+                ..FaultModel::NONE
+            },
+            5,
+        );
+        let win = ep.init_window(VirtAddr::new(1), Threshold::ops(1)).unwrap();
+        let mut n = win.post_buffer(vec![0; 8]).unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        let delivered = init.put(NodeAddr::node(0), VirtAddr::new(1), &[]).unwrap();
+        assert_eq!(delivered, 1);
+        assert_eq!(net.dropped(), 0, "no dice rolled for the empty fragment");
+        assert_eq!(n.poll().unwrap().len(), 0, "zero-byte put counts one op");
+    }
+
+    #[test]
+    fn reordered_fragments_are_released_behind_younger_traffic() {
+        let (net, ep) = setup_dedup(
+            FaultModel {
+                reorder_p: 1.0,
+                ..FaultModel::NONE
+            },
+            6,
+        );
+        let win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(128))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 128]).unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        // Two fragments, both deferred by one span: transmitting the
+        // second releases the first; the second stays parked until flush.
+        let delivered = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[7; 128])
+            .unwrap();
+        assert_eq!(delivered, 0, "nothing delivered synchronously");
+        assert_eq!(net.deferred(), 2);
+        assert!(n.poll().is_none());
+        assert_eq!(net.flush_delayed(), 1, "one fragment still parked");
+        let buf = n.poll().expect("epoch completes once the queue drains");
+        assert_eq!(buf.data(), vec![7u8; 128].as_slice());
+    }
+
+    #[test]
+    fn reliable_put_retransmits_through_heavy_loss() {
+        let (net, ep) = setup_dedup(
+            FaultModel {
+                drop_p: 0.5,
+                dup_p: 0.2,
+                reorder_p: 0.1,
+                ..FaultModel::NONE
+            },
+            7,
+        );
+        let win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(512))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 512]).unwrap();
+        let init = net.reliable_initiator(NodeAddr::node(1));
+        let report = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[9; 512])
+            .unwrap();
+        assert_eq!(report.fragments, 8);
+        assert!(
+            report.transmissions > report.fragments,
+            "50% loss must force retransmissions"
+        );
+        net.flush_delayed();
+        let buf = n.poll().expect("every fragment eventually acked");
+        assert_eq!(buf.data(), vec![9u8; 512].as_slice());
+    }
+
+    #[test]
+    fn reliable_put_nack_aborts_immediately() {
+        let (net, ep) = setup_dedup(FaultModel::NONE, 8);
+        let _win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(256))
+            .unwrap();
+        let init = net.reliable_initiator(NodeAddr::node(1));
+        let err = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[7; 256])
+            .unwrap_err();
+        assert_eq!(err, RvmaError::Nacked(NackReason::NoBufferPosted));
+    }
+
+    #[test]
+    fn crashed_endpoint_exhausts_retry_budget() {
+        let (net, ep) = setup_dedup(FaultModel::NONE, 9);
+        let win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(128))
+            .unwrap();
+        let _n = win.post_buffer(vec![0; 128]).unwrap();
+        net.crash_endpoint(NodeAddr::node(0));
+        let init = net.reliable_initiator(NodeAddr::node(1));
+        let err = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[7; 128])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RvmaError::RetryExhausted {
+                attempts: crate::retry::DEFAULT_RETRY_BUDGET,
+                acked: 0,
+                total: 2,
+            }
+        );
+        assert_eq!(
+            net.dropped(),
+            u64::from(crate::retry::DEFAULT_RETRY_BUDGET) * 2
+        );
+    }
+
+    #[test]
+    fn crash_fault_fires_mid_stream() {
+        // crash_after_frags = 3: fragments 1–2 land, the 3rd crashes the
+        // destination, and everything after is black-holed.
+        let (net, ep) = setup(
+            FaultModel {
+                crash_after_frags: Some(3),
+                ..FaultModel::NONE
+            },
+            10,
+        );
+        let win = ep
+            .init_window(VirtAddr::new(1), Threshold::bytes(256))
+            .unwrap();
+        let mut n = win.post_buffer(vec![0; 256]).unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        let delivered = init
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[7; 256])
+            .unwrap();
+        assert_eq!(delivered, 2);
+        assert!(net.is_crashed(NodeAddr::node(0)));
+        assert!(n.wait_timeout(Duration::from_millis(5)).is_none());
     }
 }

@@ -72,11 +72,41 @@
 //! network enqueues a stop marker *behind* any in-flight traffic on every
 //! queue and joins each worker, so shutdown deterministically drains all
 //! shards — no fragment accepted by `put` is ever dropped by teardown.
+//!
+//! # Fault injection (the link-level reliability layer)
+//!
+//! [`AsyncNetwork::for_endpoint_config`] with a non-trivial
+//! [`EndpointConfig::fault_model`](crate::endpoint::EndpointConfig) turns
+//! each wire worker into a lossy link with its own seeded
+//! [`FaultInjector`](crate::retry::FaultInjector) (seeds derived from
+//! [`fault_seed`](crate::endpoint::EndpointConfig), counters shared in one
+//! [`FaultStats`](crate::retry::FaultStats)). A faulted fragment is handled
+//! the way a reliable link layer handles it:
+//!
+//! * **drop / defer** — the fragment is re-enqueued on the *same* worker
+//!   queue with its attempt counter bumped: the retransmitted copy lands
+//!   behind whatever is queued, which is also how reorder/delay manifest
+//!   on this transport.
+//! * **duplicate** — delivered twice; the receiver's dedup window (enable
+//!   [`EndpointConfig::dedup_window`](crate::endpoint::EndpointConfig)!)
+//!   suppresses the copy.
+//! * **crash** — the destination endpoint is removed from the network, so
+//!   the crashing fragment's retries and all later traffic surface
+//!   asynchronous `NoSuchMailbox` NACKs instead of hanging.
+//!
+//! Once a fragment has burned
+//! [`retry_budget`](crate::endpoint::EndpointConfig) attempts it is
+//! delivered fault-free — the zero-hang guarantee a link-level reliability
+//! layer provides (a real NIC would declare the link dead instead; the
+//! crash fault models that path). `quiesce` is retry-aware: it re-runs the
+//! flush barrier until no retransmission is pending, and teardown drains
+//! queues fault-free, so neither ever strands a fragment.
 
 use crate::addr::{NodeAddr, VirtAddr};
 use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::pool::{PayloadPool, PoolStats};
+use crate::retry::{FaultInjector, FaultModel, FaultStats};
 use crate::transport::{DeliveryOrder, DEFAULT_MTU};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
@@ -100,11 +130,16 @@ const ROUTE_SLOTS: usize = 8;
 type NackSink = Arc<Mutex<Vec<(VirtAddr, NackReason)>>>;
 
 enum WireMsg {
-    /// A single fragment (the small-message inline fast path).
+    /// A single fragment (the small-message inline fast path, and the
+    /// retransmission path of the fault layer).
     Deliver {
         dest: NodeAddr,
         frag: Fragment,
         nacks: NackSink,
+        /// Fault-layer attempts already burned on this fragment (0 for a
+        /// fresh submission). Once it reaches the retry budget the
+        /// fragment is delivered without rolling the fault dice.
+        attempt: u32,
     },
     /// A submission batch for one destination endpoint: the fragments of
     /// one multi-fragment put, or many coalesced puts from a
@@ -123,6 +158,25 @@ enum WireMsg {
     Stop,
 }
 
+/// Fault-injection state of an [`AsyncNetwork`] (present only when the
+/// endpoint config carries a non-trivial [`FaultModel`]).
+struct FaultPlan {
+    model: FaultModel,
+    /// Per-fragment attempt budget; the attempt that reaches it delivers
+    /// fault-free (bounded zero-hang guarantee).
+    budget: u32,
+    /// Base seed; each worker's injector derives from it by index.
+    seed: u64,
+    /// Network-wide fault counters, shared by every worker's injector.
+    stats: Arc<FaultStats>,
+    /// Retransmissions enqueued but not yet fully processed. `quiesce`
+    /// repeats its barrier until this reaches zero; incremented *before*
+    /// the re-enqueue send and decremented only after the retried message
+    /// is completely processed, so it is never transiently zero while a
+    /// retry is in flight.
+    pending_retries: AtomicU64,
+}
+
 struct Shared {
     endpoints: RwLock<HashMap<NodeAddr, Arc<RvmaEndpoint>>>,
     /// Bumped on every endpoint add/register/remove; route caches and the
@@ -134,6 +188,21 @@ struct Shared {
     rng: Mutex<StdRng>,
     /// One FIFO queue per wire worker.
     queues: Vec<Sender<WireMsg>>,
+    /// Configuration applied to endpoints created by
+    /// [`AsyncNetwork::add_endpoint`] (dedup window, fault model, …).
+    endpoint_config: EndpointConfig,
+    faults: Option<FaultPlan>,
+}
+
+impl Shared {
+    /// Crash fault: the destination endpoint vanishes from the network.
+    /// Pending and future fragments to it NACK `NoSuchMailbox` the same
+    /// way [`AsyncNetwork::remove_endpoint`] makes them.
+    fn crash_endpoint(&self, dest: NodeAddr) {
+        if self.endpoints.write().remove(&dest).is_some() {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+    }
 }
 
 #[inline]
@@ -279,61 +348,224 @@ impl EndpointCache {
     }
 }
 
+/// Deliver one fragment `copies` times (2 = duplication fault), publishing
+/// any NACKs into the submitting initiator's sink.
+fn deliver_one(
+    shared: &Shared,
+    cache: &mut EndpointCache,
+    dest: NodeAddr,
+    frag: &Fragment,
+    nacks: &NackSink,
+    copies: u32,
+) {
+    match cache.get(shared, dest) {
+        Some(ep) => {
+            for _ in 0..copies {
+                if let DeliverResult::Nack(r) = ep.deliver(frag) {
+                    nacks.lock().push((frag.dst_vaddr, r));
+                }
+            }
+        }
+        None => nacks
+            .lock()
+            .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+    }
+}
+
+/// Deliver a batch through `RvmaEndpoint::deliver_batch` (one sink lock
+/// for all the batch's NACKs). Returns the number of fragments delivered.
+fn deliver_many(
+    shared: &Shared,
+    cache: &mut EndpointCache,
+    dest: NodeAddr,
+    frags: &[Fragment],
+    nacks: &NackSink,
+    scratch_nacks: &mut Vec<(VirtAddr, NackReason)>,
+) -> u64 {
+    let mut delivered = 0u64;
+    match cache.get(shared, dest) {
+        Some(ep) => {
+            ep.deliver_batch(frags, &mut |vaddr, reason| {
+                scratch_nacks.push((vaddr, reason));
+            });
+            delivered += frags.len() as u64;
+        }
+        None => {
+            scratch_nacks.extend(
+                frags
+                    .iter()
+                    .map(|f| (f.dst_vaddr, NackReason::NoSuchMailbox)),
+            );
+        }
+    }
+    if !scratch_nacks.is_empty() {
+        nacks.lock().append(scratch_nacks);
+    }
+    delivered
+}
+
+/// A retried message has been fully processed: release its slot in the
+/// pending-retry count `quiesce` waits on.
+#[inline]
+fn finish_retry(faults: Option<&FaultPlan>, attempt: u32) {
+    if attempt > 0 {
+        if let Some(plan) = faults {
+            plan.pending_retries.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
 fn wire_worker(
     shared: Arc<Shared>,
+    idx: usize,
     rx: crossbeam::channel::Receiver<WireMsg>,
     latency: Duration,
 ) -> u64 {
     let mut delivered = 0u64;
     let mut cache = EndpointCache::new();
+    // Retransmissions go to the back of this worker's own queue, keeping
+    // every retried fragment on the FIFO that owns its mailbox.
+    let self_tx = shared.queues[idx].clone();
+    // Each worker rolls its own seeded dice; the counters are shared, so
+    // `crash_after_frags` keys off the network-wide transmit sequence.
+    let mut injector = shared.faults.as_ref().map(|plan| {
+        let worker_seed = plan.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        FaultInjector::new(plan.model, worker_seed, plan.stats.clone())
+    });
     // NACKs of one batch collect here and publish with a single sink lock.
     let mut scratch_nacks: Vec<(VirtAddr, NackReason)> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            WireMsg::Stop => break,
+            WireMsg::Stop => {
+                // Retransmissions re-enqueued behind the Stop marker must
+                // not be stranded: drain the queue delivering fault-free.
+                while let Ok(tail) = rx.try_recv() {
+                    match tail {
+                        WireMsg::Deliver {
+                            dest,
+                            frag,
+                            nacks,
+                            attempt,
+                        } => {
+                            deliver_one(&shared, &mut cache, dest, &frag, &nacks, 1);
+                            delivered += 1;
+                            finish_retry(shared.faults.as_ref(), attempt);
+                        }
+                        WireMsg::DeliverBatch { dest, frags, nacks } => {
+                            delivered += deliver_many(
+                                &shared,
+                                &mut cache,
+                                dest,
+                                &frags,
+                                &nacks,
+                                &mut scratch_nacks,
+                            );
+                        }
+                        WireMsg::Flush { acks } => {
+                            acks.fetch_add(1, Ordering::AcqRel);
+                        }
+                        WireMsg::Stop => {}
+                    }
+                }
+                break;
+            }
             WireMsg::Flush { acks } => {
                 acks.fetch_add(1, Ordering::AcqRel);
             }
-            WireMsg::Deliver { dest, frag, nacks } => {
+            WireMsg::Deliver {
+                dest,
+                frag,
+                nacks,
+                attempt,
+            } => {
+                let mut copies = 1u32;
+                if let (Some(inj), Some(plan)) = (injector.as_mut(), shared.faults.as_ref()) {
+                    // Zero-length fragments carry no payload a fabric could
+                    // corrupt; they bypass the dice (same rule as
+                    // LossyNetwork). The attempt that reaches the budget
+                    // delivers fault-free: bounded retransmission, no hang.
+                    if !frag.data.is_empty() && attempt < plan.budget {
+                        let d = inj.roll();
+                        if d.crash {
+                            shared.crash_endpoint(dest);
+                        }
+                        if d.drop || d.defer_spans > 0 {
+                            // Link-level retransmit; a deferred fragment is
+                            // simply one that re-arrives behind the queue's
+                            // younger traffic.
+                            plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                            let _ = self_tx.send(WireMsg::Deliver {
+                                dest,
+                                frag,
+                                nacks,
+                                attempt: attempt + 1,
+                            });
+                            finish_retry(shared.faults.as_ref(), attempt);
+                            continue;
+                        }
+                        if d.duplicate {
+                            copies = 2;
+                        }
+                    }
+                }
                 if !latency.is_zero() {
                     std::thread::sleep(latency);
                 }
-                match cache.get(&shared, dest) {
-                    Some(ep) => {
-                        if let DeliverResult::Nack(r) = ep.deliver(&frag) {
-                            nacks.lock().push((frag.dst_vaddr, r));
-                        }
-                        delivered += 1;
-                    }
-                    None => nacks
-                        .lock()
-                        .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
-                }
+                deliver_one(&shared, &mut cache, dest, &frag, &nacks, copies);
+                delivered += 1;
+                finish_retry(shared.faults.as_ref(), attempt);
             }
             WireMsg::DeliverBatch { dest, frags, nacks } => {
+                let frags = match (injector.as_mut(), shared.faults.as_ref()) {
+                    (Some(inj), Some(plan)) => {
+                        // Roll per fragment; survivors stay a batch, faulted
+                        // fragments retry individually (attempt 1: the
+                        // batch pass was their first transmission).
+                        let mut clean: Vec<Fragment> = Vec::with_capacity(frags.len());
+                        for frag in frags {
+                            if frag.data.is_empty() {
+                                clean.push(frag);
+                                continue;
+                            }
+                            let d = inj.roll();
+                            if d.crash {
+                                shared.crash_endpoint(dest);
+                            }
+                            if d.drop || d.defer_spans > 0 {
+                                plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                                let _ = self_tx.send(WireMsg::Deliver {
+                                    dest,
+                                    frag,
+                                    nacks: nacks.clone(),
+                                    attempt: 1,
+                                });
+                                continue;
+                            }
+                            if d.duplicate {
+                                clean.push(frag.clone());
+                            }
+                            clean.push(frag);
+                        }
+                        clean
+                    }
+                    _ => frags,
+                };
+                if frags.is_empty() {
+                    continue;
+                }
                 if !latency.is_zero() {
                     // Every fragment still pays the wire latency; a batch
                     // pays it as one sleep instead of N.
                     std::thread::sleep(latency * frags.len() as u32);
                 }
-                match cache.get(&shared, dest) {
-                    Some(ep) => {
-                        ep.deliver_batch(&frags, &mut |vaddr, reason| {
-                            scratch_nacks.push((vaddr, reason));
-                        });
-                        delivered += frags.len() as u64;
-                    }
-                    None => {
-                        scratch_nacks.extend(
-                            frags
-                                .iter()
-                                .map(|f| (f.dst_vaddr, NackReason::NoSuchMailbox)),
-                        );
-                    }
-                }
-                if !scratch_nacks.is_empty() {
-                    nacks.lock().append(&mut scratch_nacks);
-                }
+                delivered += deliver_many(
+                    &shared,
+                    &mut cache,
+                    dest,
+                    &frags,
+                    &nacks,
+                    &mut scratch_nacks,
+                );
             }
         }
     }
@@ -356,6 +588,32 @@ impl AsyncNetwork {
         latency: Duration,
         workers: usize,
     ) -> AsyncNetwork {
+        Self::build(mtu, order, latency, workers, EndpointConfig::default())
+    }
+
+    /// Build a network shaped by an endpoint configuration: worker count
+    /// from [`wire_workers`](EndpointConfig::wire_workers), endpoints
+    /// created with the config (dedup window included), and — when
+    /// [`fault_model`](EndpointConfig::fault_model) is non-trivial — the
+    /// wire workers turned into lossy links with link-level retransmission
+    /// bounded by [`retry_budget`](EndpointConfig::retry_budget) (see the
+    /// module docs).
+    pub fn for_endpoint_config(
+        mtu: usize,
+        order: DeliveryOrder,
+        latency: Duration,
+        config: &EndpointConfig,
+    ) -> AsyncNetwork {
+        Self::build(mtu, order, latency, config.wire_workers, config.clone())
+    }
+
+    fn build(
+        mtu: usize,
+        order: DeliveryOrder,
+        latency: Duration,
+        workers: usize,
+        endpoint_config: EndpointConfig,
+    ) -> AsyncNetwork {
         assert!(mtu > 0, "MTU must be positive");
         let workers = workers.max(1);
         let seed = match order {
@@ -369,6 +627,13 @@ impl AsyncNetwork {
             queues.push(tx);
             receivers.push(rx);
         }
+        let faults = (!endpoint_config.fault_model.is_none()).then(|| FaultPlan {
+            model: endpoint_config.fault_model,
+            budget: endpoint_config.retry_budget.max(1),
+            seed: endpoint_config.fault_seed,
+            stats: Arc::new(FaultStats::default()),
+            pending_retries: AtomicU64::new(0),
+        });
         let shared = Arc::new(Shared {
             endpoints: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(1),
@@ -376,6 +641,8 @@ impl AsyncNetwork {
             order,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             queues,
+            endpoint_config,
+            faults,
         });
         let workers = receivers
             .into_iter()
@@ -384,22 +651,11 @@ impl AsyncNetwork {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("rvma-wire-{i}"))
-                    .spawn(move || wire_worker(shared, rx, latency))
+                    .spawn(move || wire_worker(shared, i, rx, latency))
                     .expect("spawn wire worker")
             })
             .collect();
         AsyncNetwork { shared, workers }
-    }
-
-    /// Build a network sized from an endpoint configuration's
-    /// [`wire_workers`](EndpointConfig::wire_workers).
-    pub fn for_endpoint_config(
-        mtu: usize,
-        order: DeliveryOrder,
-        latency: Duration,
-        config: &EndpointConfig,
-    ) -> AsyncNetwork {
-        Self::with_options(mtu, order, latency, config.wire_workers)
     }
 
     /// Default: in-order, default MTU, zero added latency, one worker.
@@ -412,9 +668,13 @@ impl AsyncNetwork {
         self.shared.queues.len()
     }
 
-    /// Create and attach an endpoint at `addr`.
+    /// Create and attach an endpoint at `addr`, configured with the
+    /// network's endpoint configuration (so e.g. a
+    /// [`dedup_window`](EndpointConfig::dedup_window) set on the config
+    /// passed to [`for_endpoint_config`](AsyncNetwork::for_endpoint_config)
+    /// applies to every endpoint of the network).
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
-        let ep = RvmaEndpoint::new(addr);
+        let ep = RvmaEndpoint::with_config(addr, self.shared.endpoint_config.clone());
         self.shared.endpoints.write().insert(addr, ep.clone());
         self.shared.generation.fetch_add(1, Ordering::Release);
         ep
@@ -458,15 +718,31 @@ impl AsyncNetwork {
 
     /// Block until every fragment submitted so far has been delivered:
     /// a flush barrier is broadcast to every worker queue (each is FIFO,
-    /// so the ack implies everything ahead of it was processed).
+    /// so the ack implies everything ahead of it was processed). With
+    /// fault injection active the barrier repeats until no link-level
+    /// retransmission is pending — a faulted fragment's retries land
+    /// *behind* the first barrier, and only the pending-retry count (held
+    /// non-zero from before each re-enqueue until the retried copy is
+    /// fully processed) proves they are done.
     pub fn quiesce(&self) {
-        let acks = Arc::new(AtomicUsize::new(0));
-        for q in &self.shared.queues {
-            let _ = q.send(WireMsg::Flush { acks: acks.clone() });
+        loop {
+            let acks = Arc::new(AtomicUsize::new(0));
+            for q in &self.shared.queues {
+                let _ = q.send(WireMsg::Flush { acks: acks.clone() });
+            }
+            while acks.load(Ordering::Acquire) < self.shared.queues.len() {
+                std::thread::yield_now();
+            }
+            match &self.shared.faults {
+                Some(plan) if plan.pending_retries.load(Ordering::Acquire) > 0 => continue,
+                _ => break,
+            }
         }
-        while acks.load(Ordering::Acquire) < self.shared.queues.len() {
-            std::thread::yield_now();
-        }
+    }
+
+    /// The network-wide fault counters, when fault injection is active.
+    pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
+        self.shared.faults.as_ref().map(|p| p.stats.clone())
     }
 }
 
@@ -577,6 +853,7 @@ impl AsyncInitiator {
                     dest,
                     frag,
                     nacks: self.nacks.clone(),
+                    attempt: 0,
                 })
                 .map_err(|_| RvmaError::UnknownDestination);
         }
@@ -670,6 +947,7 @@ impl AsyncInitiator {
                     dest,
                     frag,
                     nacks: self.nacks.clone(),
+                    attempt: 0,
                 })
                 .map_err(|_| RvmaError::UnknownDestination)?;
         }
@@ -1339,6 +1617,128 @@ mod tests {
             .unwrap();
         assert_eq!(note.wait().data(), vec![5; MTU].as_slice());
         assert_eq!(server.stats().fragments_accepted, 1);
+    }
+
+    #[test]
+    fn fault_injected_network_completes_under_loss() {
+        // Drops retransmit, duplicates are suppressed by the receiver's
+        // dedup window, reorders arrive late but land at their offsets:
+        // the epoch still completes byte-exact, and quiesce waits out
+        // every pending retry.
+        let config = EndpointConfig {
+            dedup_window: 256,
+            fault_model: FaultModel {
+                drop_p: 0.2,
+                dup_p: 0.1,
+                reorder_p: 0.05,
+                ..FaultModel::NONE
+            },
+            fault_seed: 42,
+            wire_workers: 4,
+            ..EndpointConfig::default()
+        };
+        let net =
+            AsyncNetwork::for_endpoint_config(32, DeliveryOrder::InOrder, Duration::ZERO, &config);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(1));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::bytes(4096))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 4096]).unwrap();
+        let payload: Vec<u8> = (0..4096usize).map(|i| (i % 251) as u8).collect();
+        client
+            .put(NodeAddr::node(0), VirtAddr::new(1), &payload)
+            .unwrap();
+        net.quiesce();
+        assert_eq!(note.wait().data(), payload.as_slice());
+        let stats = net.fault_stats().expect("faults active");
+        assert!(stats.dropped() > 0, "128 fragments at 20% loss");
+        assert_eq!(
+            server.stats().duplicates_dropped,
+            stats.duplicated(),
+            "every duplicated copy was suppressed by the dedup window"
+        );
+        assert!(client.take_nacks().is_empty());
+    }
+
+    #[test]
+    fn async_crash_fault_black_holes_the_endpoint() {
+        // The 4th network-wide transmission crashes the destination: the
+        // endpoint vanishes, and everything after it surfaces asynchronous
+        // NoSuchMailbox NACKs (or fails fast at submission) instead of
+        // hanging quiesce or teardown.
+        let config = EndpointConfig {
+            dedup_window: 64,
+            fault_model: FaultModel {
+                crash_after_frags: Some(4),
+                ..FaultModel::NONE
+            },
+            fault_seed: 7,
+            wire_workers: 1,
+            ..EndpointConfig::default()
+        };
+        let net =
+            AsyncNetwork::for_endpoint_config(16, DeliveryOrder::InOrder, Duration::ZERO, &config);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(1));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::bytes(256))
+            .unwrap();
+        let _note = win.post_buffer(vec![0; 256]).unwrap();
+        for k in 0..16usize {
+            // Submission races the crash: a put after the removal fails
+            // fast, one before it is NACKed by the wire worker.
+            let _ = client.put_at(
+                NodeAddr::node(0),
+                VirtAddr::new(1),
+                k * 16,
+                &[k as u8 + 1; 16],
+            );
+        }
+        net.quiesce();
+        assert_eq!(
+            server.stats().fragments_accepted,
+            3,
+            "only the pre-crash fragments landed"
+        );
+        assert!(client
+            .take_nacks()
+            .iter()
+            .all(|(_, r)| *r == NackReason::NoSuchMailbox));
+    }
+
+    #[test]
+    fn zero_length_put_bypasses_async_fault_dice() {
+        // A zero-length put carries no payload to corrupt: it must count
+        // its op without ever touching the fault dice — even at 100% loss.
+        let config = EndpointConfig {
+            dedup_window: 16,
+            fault_model: FaultModel {
+                drop_p: 1.0,
+                ..FaultModel::NONE
+            },
+            wire_workers: 1,
+            ..EndpointConfig::default()
+        };
+        let net = AsyncNetwork::for_endpoint_config(
+            DEFAULT_MTU,
+            DeliveryOrder::InOrder,
+            Duration::ZERO,
+            &config,
+        );
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let client = net.initiator(NodeAddr::node(1));
+        let win = server
+            .init_window(VirtAddr::new(1), Threshold::ops(1))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0; 8]).unwrap();
+        client
+            .put(NodeAddr::node(0), VirtAddr::new(1), &[])
+            .unwrap();
+        net.quiesce();
+        assert_eq!(note.wait().len(), 0);
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.transmitted(), 0, "the dice never rolled");
     }
 
     #[test]

@@ -15,6 +15,33 @@ use crate::notify::{Notification, NotificationSlot};
 use crate::pool::{BufferPool, PoolStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How [`Window::recover_timeout`] resolved an epoch it waited on.
+#[derive(Debug)]
+pub enum EpochOutcome {
+    /// The epoch reached its threshold within the timeout.
+    Completed(CompletedBuffer),
+    /// The timeout expired: the partially-filled epoch was rotated out
+    /// (`RVMA_Win_inc_epoch`) and handed over with whatever bytes arrived.
+    /// The next posted buffer is active — the mailbox is not wedged on the
+    /// missing fragments.
+    Rewound(CompletedBuffer),
+}
+
+impl EpochOutcome {
+    /// The epoch's buffer, however the epoch ended.
+    pub fn into_buffer(self) -> CompletedBuffer {
+        match self {
+            EpochOutcome::Completed(b) | EpochOutcome::Rewound(b) => b,
+        }
+    }
+
+    /// True when the epoch was force-rotated with a partial buffer.
+    pub fn is_rewound(&self) -> bool {
+        matches!(self, EpochOutcome::Rewound(_))
+    }
+}
 
 /// Application handle to one RVMA mailbox.
 ///
@@ -175,6 +202,42 @@ impl Window {
     pub fn progress(&self) -> Arc<EpochProgress> {
         self.mailbox.lock().progress_handle()
     }
+
+    /// Wait up to `timeout` for `n` — the notification of this mailbox's
+    /// **active** (oldest unconsumed) epoch — and, if it does not complete,
+    /// rotate the partially-filled epoch out instead of wedging: the
+    /// fabric-fault recovery idiom of paper Secs. IV-E/IV-F, where an epoch
+    /// whose fragments were lost is surrendered with partial contents
+    /// rather than blocking the mailbox forever.
+    ///
+    /// The decision is race-free: the endpoint's completing write runs
+    /// under the mailbox lock, so after the timeout this method re-checks
+    /// completion *under that lock* — either the epoch completed in the
+    /// race window (returned as [`EpochOutcome::Completed`]) or it is
+    /// rotated while provably incomplete ([`EpochOutcome::Rewound`]). A
+    /// completion can never be lost or double-handled.
+    ///
+    /// Errors propagate from `inc_epoch` (e.g. the window was closed
+    /// underneath the wait); the notification is left unconsumed in that
+    /// case.
+    ///
+    /// # Panics
+    /// Panics if `n` was already consumed.
+    pub fn recover_timeout(&self, n: &mut Notification, timeout: Duration) -> Result<EpochOutcome> {
+        if let Some(buf) = n.wait_timeout(timeout) {
+            return Ok(EpochOutcome::Completed(buf));
+        }
+        let mut mb = self.mailbox.lock();
+        if n.is_complete() {
+            drop(mb);
+            return Ok(EpochOutcome::Completed(n.wait()));
+        }
+        mb.inc_epoch()?;
+        drop(mb);
+        // inc_epoch performed the completing write on the active buffer —
+        // which is n's buffer by contract — so this wait returns at once.
+        Ok(EpochOutcome::Rewound(n.wait()))
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +354,53 @@ mod tests {
         put(&ep, 9, 0, &[2; 4]);
         put(&ep, 10, 4, &[3; 4]);
         assert_eq!(n.poll().unwrap().data(), &[2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn recover_timeout_returns_completion_when_epoch_finishes() {
+        let (ep, win) = setup();
+        let mut n = win.post_buffer(vec![0; 8]).unwrap();
+        put(&ep, 1, 0, &[4; 8]);
+        match win
+            .recover_timeout(&mut n, std::time::Duration::from_secs(5))
+            .unwrap()
+        {
+            EpochOutcome::Completed(buf) => assert_eq!(buf.data(), &[4; 8]),
+            EpochOutcome::Rewound(_) => panic!("epoch was complete"),
+        }
+    }
+
+    #[test]
+    fn recover_timeout_rewinds_a_partial_epoch() {
+        // Half the epoch's bytes arrive, the rest never do (a lossy fabric
+        // without retransmission). The timeout rotates the epoch out with
+        // its partial contents and the mailbox keeps going.
+        let (ep, win) = setup();
+        let mut n1 = win.post_buffer(vec![0; 8]).unwrap();
+        let mut n2 = win.post_buffer(vec![0; 8]).unwrap();
+        put(&ep, 1, 0, &[6; 4]);
+        let outcome = win
+            .recover_timeout(&mut n1, std::time::Duration::from_millis(10))
+            .unwrap();
+        assert!(outcome.is_rewound());
+        let partial = outcome.into_buffer();
+        assert_eq!(partial.len(), 4);
+        assert_eq!(partial.data(), &[6; 4]);
+        assert_eq!(win.epoch(), 1, "the wedged epoch was rotated out");
+        // The next posted buffer is active and completes normally.
+        put(&ep, 2, 0, &[7; 8]);
+        assert_eq!(n2.wait().data(), &[7; 8]);
+    }
+
+    #[test]
+    fn recover_timeout_propagates_closed_window() {
+        let (_ep, win) = setup();
+        let mut n = win.post_buffer(vec![0; 8]).unwrap();
+        win.close();
+        assert!(win
+            .recover_timeout(&mut n, std::time::Duration::from_millis(5))
+            .is_err());
+        assert!(!n.is_consumed(), "notification untouched on error");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::buffer::CompletedBuffer;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,6 +42,11 @@ pub struct NotificationSlot {
     payload: Mutex<Option<CompletedBuffer>>,
     /// Wakes parked waiters (the Monitor/MWait slow path).
     condvar: Condvar,
+    /// Number of threads parked (or about to park) on `condvar`. The
+    /// completing write broadcasts only when this is nonzero, so the
+    /// common poll/spin consumer costs the completer one atomic load
+    /// instead of an unconditional futex broadcast.
+    waiters: AtomicUsize,
 }
 
 impl NotificationSlot {
@@ -51,6 +56,7 @@ impl NotificationSlot {
             state: AtomicU8::new(STATE_EMPTY),
             payload: Mutex::new(None),
             condvar: Condvar::new(),
+            waiters: AtomicUsize::new(0),
         })
     }
 
@@ -63,9 +69,16 @@ impl NotificationSlot {
             debug_assert!(guard.is_none(), "notification slot completed twice");
             *guard = Some(buf);
         }
-        let prev = self.state.swap(STATE_COMPLETE, Ordering::Release);
+        // SeqCst pairs with the waiter's SeqCst registration (a Dekker
+        // store-buffering pair): either the completer sees the waiter count
+        // and broadcasts, or the waiter's payload check under the mutex sees
+        // the buffer already stored and never sleeps. Spinning and polling
+        // consumers never register, so the broadcast is skipped entirely.
+        let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
         debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
-        self.condvar.notify_all();
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            self.condvar.notify_all();
+        }
     }
 
     fn is_complete(&self) -> bool {
@@ -142,12 +155,17 @@ impl Notification {
             }
             std::hint::spin_loop();
         }
-        // Slow path: park on the condvar.
+        // Slow path: park on the condvar. Register *before* re-checking the
+        // payload under the mutex — the completer stores the payload under
+        // the same mutex before it reads the waiter count, so a registration
+        // it misses implies a payload this check cannot miss.
+        self.slot.waiters.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.slot.payload.lock();
         while guard.is_none() {
             self.slot.condvar.wait(&mut guard);
         }
         drop(guard);
+        self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
         self.consumed = true;
         self.slot.take_payload()
     }
@@ -164,6 +182,7 @@ impl Notification {
             }
             std::hint::spin_loop();
         }
+        self.slot.waiters.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.slot.payload.lock();
         while guard.is_none() {
             if self
@@ -172,8 +191,10 @@ impl Notification {
                 .wait_until(&mut guard, deadline)
                 .timed_out()
             {
-                return if guard.is_some() {
-                    drop(guard);
+                let done = guard.is_some();
+                drop(guard);
+                self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
+                return if done {
                     self.consumed = true;
                     Some(self.slot.take_payload())
                 } else {
@@ -182,6 +203,7 @@ impl Notification {
             }
         }
         drop(guard);
+        self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
         self.consumed = true;
         Some(self.slot.take_payload())
     }

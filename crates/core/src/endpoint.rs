@@ -18,6 +18,7 @@ use crate::mailbox::{
     BeginOutcome, DeliveryOutcome, Mailbox, MailboxMode, OpKey, DEFAULT_RETAIN_EPOCHS,
 };
 use crate::retry::{FaultModel, DEFAULT_RETRY_BUDGET};
+use crate::ring::{RingStats, DEFAULT_WIRE_QUEUE_CAP};
 use crate::window::Window;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -85,7 +86,36 @@ pub struct EndpointConfig {
     /// redelivered up to this many times before the final attempt is made
     /// fault-free, bounding completion time under any fault model.
     pub retry_budget: u32,
+    /// Capacity (messages) of each wire worker's bounded ring queue,
+    /// rounded up to a power of two (min 2). A full ring exerts
+    /// backpressure on submitters — `put` blocks until a slot frees, it
+    /// never drops — so this also caps resident queue memory under incast.
+    pub wire_queue_cap: usize,
+    /// Busy-poll iterations an idle wire worker spins on its ring before
+    /// it starts yielding. The spin phase is the latency fast path: a
+    /// fragment arriving within it is picked up without any scheduler
+    /// involvement. Both idle budgets are treated as 0 on a single-CPU
+    /// host, where an idle-spinning worker would hold the core its
+    /// producers need.
+    pub wire_idle_spins: u32,
+    /// `yield_now` rounds after the spin budget before the worker parks
+    /// (woken by the producers' doorbell). 0 with `wire_idle_spins` 0
+    /// parks immediately — the wake-per-message behaviour of the old
+    /// unbounded-channel datapath, kept reachable for A/B runs.
+    pub wire_idle_yields: u32,
+    /// Build notification slots in pre-rework baseline mode (payload under
+    /// the mutex, unconditional broadcast on complete) — the completion
+    /// half of the `put_latency --baseline` configuration.
+    pub notify_baseline: bool,
 }
+
+/// Default idle spin budget of a wire worker (see
+/// [`EndpointConfig::wire_idle_spins`]).
+pub const DEFAULT_WIRE_IDLE_SPINS: u32 = 4096;
+
+/// Default idle yield budget of a wire worker (see
+/// [`EndpointConfig::wire_idle_yields`]).
+pub const DEFAULT_WIRE_IDLE_YIELDS: u32 = 64;
 
 impl Default for EndpointConfig {
     fn default() -> Self {
@@ -99,6 +129,10 @@ impl Default for EndpointConfig {
             fault_model: FaultModel::NONE,
             fault_seed: 0x5EED,
             retry_budget: DEFAULT_RETRY_BUDGET,
+            wire_queue_cap: DEFAULT_WIRE_QUEUE_CAP,
+            wire_idle_spins: DEFAULT_WIRE_IDLE_SPINS,
+            wire_idle_yields: DEFAULT_WIRE_IDLE_YIELDS,
+            notify_baseline: false,
         }
     }
 }
@@ -115,8 +149,11 @@ pub struct EndpointStats {
     pub fragments_discarded: AtomicU64,
     /// NACKs that were (or would be) sent to initiators.
     pub nacks: AtomicU64,
-    /// Epochs completed across all mailboxes.
-    pub epochs_completed: AtomicU64,
+    /// Epochs completed across all mailboxes (threshold-triggered and
+    /// `inc_epoch`). Shared with each mailbox, which increments it
+    /// immediately *before* the completing write — so a waiter woken by a
+    /// completion always sees this counter include that epoch.
+    pub epochs_completed: Arc<AtomicU64>,
     /// LUT lookups that found a mailbox.
     pub lut_hits: AtomicU64,
     /// LUT lookups that missed (before catch-all redirection).
@@ -137,7 +174,7 @@ pub struct StatsSnapshot {
     pub fragments_discarded: u64,
     /// NACKs sent (or suppressed-but-counted when disabled: 0).
     pub nacks: u64,
-    /// Epochs completed across all mailboxes.
+    /// Epochs completed across all mailboxes (threshold and `inc_epoch`).
     pub epochs_completed: u64,
     /// LUT hits.
     pub lut_hits: u64,
@@ -145,6 +182,14 @@ pub struct StatsSnapshot {
     pub lut_misses: u64,
     /// Fragments suppressed by a dedup window.
     pub duplicates_dropped: u64,
+    /// High-water wire-queue depth of the transport serving this endpoint
+    /// (0 when the endpoint is not attached to a threaded transport).
+    /// Bounded by [`EndpointConfig::wire_queue_cap`].
+    pub max_depth: u64,
+    /// Submissions that stalled on a full wire ring (backpressure events).
+    pub full_stalls: u64,
+    /// Parked wire workers woken by the producers' doorbell.
+    pub park_wakeups: u64,
 }
 
 impl EndpointStats {
@@ -158,6 +203,9 @@ impl EndpointStats {
             lut_hits: self.lut_hits.load(Ordering::Relaxed),
             lut_misses: self.lut_misses.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            max_depth: 0,
+            full_stalls: 0,
+            park_wakeups: 0,
         }
     }
 }
@@ -194,7 +242,6 @@ struct BatchCounters {
     bytes_accepted: u64,
     discarded: u64,
     nacks: u64,
-    epochs: u64,
     lut_hits: u64,
     lut_misses: u64,
     dups: u64,
@@ -226,7 +273,6 @@ impl BatchCounters {
             (&stats.bytes_accepted, self.bytes_accepted),
             (&stats.fragments_discarded, self.discarded),
             (&stats.nacks, self.nacks),
-            (&stats.epochs_completed, self.epochs),
             (&stats.lut_hits, self.lut_hits),
             (&stats.lut_misses, self.lut_misses),
             (&stats.duplicates_dropped, self.dups),
@@ -246,6 +292,11 @@ pub struct RvmaEndpoint {
     lut: Lut,
     config: EndpointConfig,
     stats: EndpointStats,
+    /// Wire-queue counters of the transport this endpoint is attached to
+    /// (set by `AsyncNetwork::add_endpoint`/`register`); merged into
+    /// [`StatsSnapshot`] so queue depth and backpressure are observable
+    /// next to the delivery counters.
+    wire: Mutex<Option<Arc<RingStats>>>,
 }
 
 impl RvmaEndpoint {
@@ -261,6 +312,7 @@ impl RvmaEndpoint {
             lut: Lut::new(config.lut_capacity),
             config,
             stats: EndpointStats::default(),
+            wire: Mutex::new(None),
         })
     }
 
@@ -274,9 +326,26 @@ impl RvmaEndpoint {
         &self.config
     }
 
-    /// Snapshot of datapath counters.
+    /// Snapshot of datapath counters, including the wire-queue counters of
+    /// the attached transport (zero when unattached).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        if let Some(wire) = self.wire.lock().as_ref() {
+            let w = wire.snapshot();
+            snap.max_depth = w.max_depth;
+            snap.full_stalls = w.full_stalls;
+            snap.park_wakeups = w.park_wakeups;
+        }
+        snap
+    }
+
+    /// Attach the wire-queue counters of the transport serving this
+    /// endpoint, so [`stats`](Self::stats) can report queue depth and
+    /// backpressure alongside the delivery counters. Called by
+    /// `AsyncNetwork::add_endpoint`/`register`; re-attaching (e.g. the
+    /// endpoint moved to another network) replaces the source.
+    pub fn attach_wire_stats(&self, stats: Arc<RingStats>) {
+        *self.wire.lock() = Some(stats);
     }
 
     /// Create a window: register a mailbox at `vaddr` in Receiver-Steered
@@ -297,12 +366,14 @@ impl RvmaEndpoint {
         if threshold.count == 0 {
             return Err(RvmaError::ZeroThreshold);
         }
-        let mailbox = Arc::new(Mutex::new(Mailbox::with_dedup(
+        let mut mb = Mailbox::with_dedup(
             vaddr,
             mode,
             self.config.retain_epochs,
             self.config.dedup_window,
-        )));
+        );
+        mb.count_completions_in(self.stats.epochs_completed.clone());
+        let mailbox = Arc::new(Mutex::new(mb));
         self.lut.insert(vaddr, mailbox.clone())?;
         Ok(Window::new(self.clone(), mailbox, vaddr, threshold))
     }
@@ -377,8 +448,9 @@ impl RvmaEndpoint {
                 }
             }
             DeliveryOutcome::Completed => {
+                // The mailbox already counted the epoch (pre-completion,
+                // so it is visible to whoever the completing write wakes).
                 self.count_accept(frag);
-                self.stats.epochs_completed.fetch_add(1, Ordering::Relaxed);
                 DeliverResult::Ok {
                     completed_epoch: true,
                 }
@@ -480,11 +552,7 @@ impl RvmaEndpoint {
                     .iter()
                     .map(|f| (f.op_key(), f.op_total_len, f.offset, &f.data[..])),
                 &mut |outcome, len| match outcome {
-                    DeliveryOutcome::Accepted => acc.accept(len),
-                    DeliveryOutcome::Completed => {
-                        acc.accept(len);
-                        acc.epochs += 1;
-                    }
+                    DeliveryOutcome::Accepted | DeliveryOutcome::Completed => acc.accept(len),
                     DeliveryOutcome::Duplicate => acc.dups += 1,
                     DeliveryOutcome::Discarded(reason) => {
                         acc.discard(nacks_enabled, vaddr, reason, on_nack);
@@ -503,13 +571,9 @@ impl RvmaEndpoint {
                 in_hold += 1;
                 let f = &run[idx];
                 match mb.deliver_begin(f.op_key(), f.op_total_len, f.offset, f.data.len()) {
-                    BeginOutcome::Done(DeliveryOutcome::Accepted) => {
+                    BeginOutcome::Done(DeliveryOutcome::Accepted)
+                    | BeginOutcome::Done(DeliveryOutcome::Completed) => {
                         acc.accept(f.data.len());
-                        idx += 1;
-                    }
-                    BeginOutcome::Done(DeliveryOutcome::Completed) => {
-                        acc.accept(f.data.len());
-                        acc.epochs += 1;
                         idx += 1;
                     }
                     BeginOutcome::Done(DeliveryOutcome::Duplicate) => {
@@ -525,14 +589,10 @@ impl RvmaEndpoint {
                         // reservation pins the range and nothing rotates
                         // the buffer before the matching finish below.
                         unsafe { r.fill(&f.data) };
-                        match mb.deliver_finish(r) {
-                            DeliveryOutcome::Completed => {
-                                acc.accept(f.data.len());
-                                acc.epochs += 1;
-                            }
-                            // `deliver_finish` accepts even racing close().
-                            _ => acc.accept(f.data.len()),
-                        }
+                        // `deliver_finish` accepts even racing close(); a
+                        // completion was counted by the mailbox itself.
+                        mb.deliver_finish(r);
+                        acc.accept(f.data.len());
                         idx += 1;
                     }
                     BeginOutcome::Contended => {

@@ -63,6 +63,7 @@ pub mod mpix;
 pub mod notify;
 pub mod pool;
 pub mod retry;
+pub mod ring;
 pub mod transport;
 pub mod transport_lossy;
 pub mod transport_threaded;
@@ -70,7 +71,10 @@ pub mod window;
 
 pub use addr::{NodeAddr, VirtAddr};
 pub use buffer::{CompletedBuffer, EpochType, Threshold};
-pub use endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot};
+pub use endpoint::{
+    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_WIRE_IDLE_SPINS,
+    DEFAULT_WIRE_IDLE_YIELDS,
+};
 pub use error::{NackReason, Result, RvmaError};
 pub use lut::LUT_SHARDS;
 pub use mailbox::{EpochProgress, Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
@@ -82,6 +86,7 @@ pub use retry::{
     DedupWindow, FaultInjector, FaultStats, PutReport, ReliableInitiator, RetryConfig,
     DEFAULT_DEDUP_WINDOW, DEFAULT_RETRY_BUDGET,
 };
+pub use ring::{PushError, RingQueue, RingStats, RingStatsSnapshot, DEFAULT_WIRE_QUEUE_CAP};
 pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
 pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork, TransmitOutcome};
 pub use transport_threaded::{

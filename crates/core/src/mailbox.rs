@@ -196,6 +196,11 @@ pub struct Mailbox {
     /// rotation: a replayed final fragment of epoch N must be recognized
     /// after the rotation it triggered, not counted into epoch N + 1.
     dedup: Option<DedupWindow>,
+    /// The owning endpoint's `epochs_completed` counter, bumped *before*
+    /// the completing write so a waiter woken by the completion pointer
+    /// always observes the epoch already counted. `None` for standalone
+    /// mailboxes (tests).
+    completions: Option<Arc<AtomicU64>>,
 }
 
 impl Mailbox {
@@ -228,7 +233,16 @@ impl Mailbox {
             pending_completion: false,
             draining: None,
             dedup: (dedup_window > 0).then(|| DedupWindow::new(dedup_window)),
+            completions: None,
         }
+    }
+
+    /// Count every epoch completion into `counter` (the endpoint's
+    /// `epochs_completed`). The increment is sequenced *before* the
+    /// completing write, so it is visible to any thread the completion
+    /// wakes — `wait()` returning implies the counter includes this epoch.
+    pub(crate) fn count_completions_in(&mut self, counter: Arc<AtomicU64>) {
+        self.completions = Some(counter);
     }
 
     /// The mailbox's virtual address.
@@ -633,6 +647,14 @@ impl Mailbox {
         self.retired.push_back(completed.clone());
         while self.retired.len() > self.retain {
             self.retired.pop_front();
+        }
+
+        // Publish the epoch into the endpoint's counter first: the
+        // completing write below releases the payload to waiters (who may
+        // be spinning on the completion pointer and read stats the very
+        // next instruction), so the count must already be in place.
+        if let Some(counter) = &self.completions {
+            counter.fetch_add(1, Ordering::Relaxed);
         }
 
         // The completing write to the completion pointer.

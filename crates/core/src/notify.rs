@@ -7,9 +7,22 @@
 //! completion queue — a thread can wait on exactly the completions it cares
 //! about, using Monitor/MWait-style wake-on-write or plain polling.
 //!
-//! [`NotificationSlot`] is the software analogue. It is `#[repr(align(64))]`
-//! (one cache line), carries a single atomic state word that the "NIC" (the
-//! endpoint delivery path) flips exactly once, and offers:
+//! [`NotificationSlot`] is the software analogue, and after the latency
+//! rework it really is a completion *pointer*, not a mutex-wrapped mailbox:
+//!
+//! * The payload lives in an `UnsafeCell`, guarded by a single atomic state
+//!   word (`EMPTY → COMPLETE → TAKEN`). The NIC's completing write is a
+//!   plain store followed by one release/`SeqCst` state transition — no
+//!   lock, no allocation.
+//! * The condvar slow path is armed only when a waiter has *registered*
+//!   (a waiter-count atomic, Dekker-paired with the completing write). A
+//!   pure-polling receiver costs the completer one relaxed-ish load; the
+//!   old path took a mutex and broadcast `notify_all` on every completion.
+//! * [`wait_any`] / [`wait_any_timeout`] park on one shared eventcount
+//!   instead of burning a core polling every slot; the completing write
+//!   bumps the eventcount only when a multi-slot waiter is parked.
+//!
+//! Waiters get the same menu as before:
 //!
 //! * [`Notification::poll`] — the polling idiom,
 //! * [`Notification::wait`] — the Monitor/MWait idiom: a bounded spin on the
@@ -19,15 +32,22 @@
 //! Ownership of the completed buffer transfers through the slot, which is
 //! the Rust-safe rendering of "the pointer to the data buffer is deposited
 //! into the notification address".
+//!
+//! For A/B measurement (`put_latency --baseline`), a slot built with
+//! [`NotificationSlot::with_baseline`] reproduces the pre-rework completer
+//! cost: payload stored under the mutex plus an unconditional
+//! `notify_all`, waiters unchanged.
 
 use crate::buffer::CompletedBuffer;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const STATE_EMPTY: u8 = 0;
 const STATE_COMPLETE: u8 = 1;
+const STATE_TAKEN: u8 = 2;
 
 /// Spin iterations before falling back to parking — long enough to catch
 /// completions that are a cache-miss away, short enough not to burn a core.
@@ -36,49 +56,104 @@ const SPIN_LIMIT: u32 = 4096;
 /// The shared, cache-line-aligned completion slot written once by the NIC.
 #[repr(align(64))]
 pub struct NotificationSlot {
-    /// `STATE_EMPTY` until the NIC's single completing write.
+    /// `STATE_EMPTY` until the NIC's single completing write flips it to
+    /// `STATE_COMPLETE`; the consuming waiter retires it to `STATE_TAKEN`.
     state: AtomicU8,
+    /// Parked waiters registered on this slot. The completing write takes
+    /// the condvar path only when this is non-zero (Dekker-paired with the
+    /// state transition, both `SeqCst`).
+    waiters: AtomicU32,
+    /// Reproduce the pre-rework completer cost (mutex + unconditional
+    /// broadcast) for A/B latency runs.
+    baseline: bool,
     /// The completed buffer "pointer + length", transferred to the waiter.
-    payload: Mutex<Option<CompletedBuffer>>,
+    /// Guarded by `state`: written by the sole completer before the
+    /// `COMPLETE` transition, read by the sole consumer after it.
+    payload: UnsafeCell<Option<CompletedBuffer>>,
+    /// Pairs with `condvar` for the parked slow path. Never guards the
+    /// payload (except in baseline mode, where it reproduces the old cost).
+    wake: Mutex<()>,
     /// Wakes parked waiters (the Monitor/MWait slow path).
     condvar: Condvar,
-    /// Number of threads parked (or about to park) on `condvar`. The
-    /// completing write broadcasts only when this is nonzero, so the
-    /// common poll/spin consumer costs the completer one atomic load
-    /// instead of an unconditional futex broadcast.
-    waiters: AtomicUsize,
 }
 
+// SAFETY: `payload` is handed from the single completer (the endpoint
+// delivery path calls `complete` at most once per slot, under the mailbox
+// lock) to the single consumer (`Notification` enforces one take via the
+// `COMPLETE → TAKEN` CAS); the state word orders the write before the read.
+unsafe impl Send for NotificationSlot {}
+unsafe impl Sync for NotificationSlot {}
+
 impl NotificationSlot {
-    /// A fresh, un-completed slot.
+    /// A fresh, un-completed slot on the lock-free handoff path.
     pub fn new() -> Arc<Self> {
+        Self::with_baseline(false)
+    }
+
+    /// A fresh slot; `baseline = true` selects the pre-rework completer
+    /// behaviour (payload under mutex, unconditional `notify_all`) for A/B
+    /// latency measurement.
+    pub fn with_baseline(baseline: bool) -> Arc<Self> {
         Arc::new(NotificationSlot {
             state: AtomicU8::new(STATE_EMPTY),
-            payload: Mutex::new(None),
+            waiters: AtomicU32::new(0),
+            baseline,
+            payload: UnsafeCell::new(None),
+            wake: Mutex::new(()),
             condvar: Condvar::new(),
-            waiters: AtomicUsize::new(0),
         })
     }
 
     /// The NIC-side completing write. Stores the buffer, flips the state
-    /// word (release), and wakes any parked waiter. Must be called at most
-    /// once per slot; a second call panics in debug builds.
+    /// word, and wakes parked waiters — touching the mutex/condvar only
+    /// when a waiter has actually registered. Must be called at most once
+    /// per slot; a second call panics in debug builds.
     pub(crate) fn complete(&self, buf: CompletedBuffer) {
-        {
-            let mut guard = self.payload.lock();
-            debug_assert!(guard.is_none(), "notification slot completed twice");
-            *guard = Some(buf);
+        if self.baseline {
+            // Pre-rework path, kept for `put_latency --baseline`: payload
+            // under the mutex, broadcast whether or not anyone listens.
+            {
+                let _guard = self.wake.lock();
+                // SAFETY: sole completer; consumers only read after the
+                // COMPLETE transition below.
+                debug_assert!(
+                    unsafe { (*self.payload.get()).is_none() },
+                    "notification slot completed twice"
+                );
+                unsafe { *self.payload.get() = Some(buf) };
+                let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
+                debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
+            }
+            self.condvar.notify_all();
+            any_event().signal();
+            return;
         }
-        // SeqCst pairs with the waiter's SeqCst registration (a Dekker
-        // store-buffering pair): either the completer sees the waiter count
-        // and broadcasts, or the waiter's payload check under the mutex sees
-        // the buffer already stored and never sleeps. Spinning and polling
-        // consumers never register, so the broadcast is skipped entirely.
+        // SAFETY: sole completer (mailbox lock serialises delivery; debug
+        // assert below catches double-complete). No consumer reads the
+        // payload until the SeqCst transition publishes it.
+        unsafe {
+            debug_assert!(
+                (*self.payload.get()).is_none(),
+                "notification slot completed twice"
+            );
+            *self.payload.get() = Some(buf);
+        }
+        // SeqCst, not just Release: Dekker with waiter registration. Either
+        // this store is ordered before the waiter's registration (then the
+        // waiter's post-registration state check sees COMPLETE and never
+        // parks), or the `waiters` load below sees the registration (and we
+        // take the condvar path).
         let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
         debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
         if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Lock-then-unlock before notifying: a waiter that observed
+            // EMPTY is either not yet inside `condvar.wait` (then it holds
+            // or will take `wake`, and its re-check under the lock sees
+            // COMPLETE) or already parked (then notify_all wakes it).
+            drop(self.wake.lock());
             self.condvar.notify_all();
         }
+        any_event().signal();
     }
 
     fn is_complete(&self) -> bool {
@@ -86,10 +161,63 @@ impl NotificationSlot {
     }
 
     fn take_payload(&self) -> CompletedBuffer {
-        self.payload
-            .lock()
-            .take()
-            .expect("notification payload already taken")
+        // The COMPLETE → TAKEN CAS makes the take exclusive and (Acquire)
+        // orders the payload read after the completer's write.
+        self.state
+            .compare_exchange(
+                STATE_COMPLETE,
+                STATE_TAKEN,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .expect("notification payload already taken");
+        // SAFETY: the CAS above grants this thread sole ownership of the
+        // published payload.
+        unsafe { (*self.payload.get()).take() }.expect("notification payload already taken")
+    }
+
+    /// Parked wait until the completing write, with an optional deadline.
+    /// Returns `false` on timeout. Caller has already spun.
+    fn park_until(&self, deadline: Option<Instant>) -> bool {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        // Re-check after registering (the other half of the Dekker pair in
+        // `complete`): if the completing write already landed we must not
+        // sleep — its `waiters` load may have seen zero.
+        let mut completed = self.state.load(Ordering::SeqCst) == STATE_COMPLETE;
+        if !completed {
+            let mut guard = self.wake.lock();
+            loop {
+                if self.state.load(Ordering::SeqCst) == STATE_COMPLETE {
+                    completed = true;
+                    break;
+                }
+                match deadline {
+                    Some(d) => {
+                        if self.condvar.wait_until(&mut guard, d).timed_out() {
+                            completed = self.state.load(Ordering::SeqCst) == STATE_COMPLETE;
+                            break;
+                        }
+                    }
+                    None => self.condvar.wait(&mut guard),
+                }
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        completed
+    }
+
+    /// One iteration of the pre-park spin phase. The reworked slot yields
+    /// the CPU every 256 spins: if the completer is runnable but not
+    /// running (oversubscribed or single-CPU host), a yield hands it the
+    /// core instead of burning the rest of the spin budget against a state
+    /// word that cannot change. The baseline slot keeps the pre-rework
+    /// pure busy-spin.
+    fn spin_step(&self, spins: u32) {
+        if !self.baseline && spins % 256 == 255 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
     }
 }
 
@@ -99,6 +227,79 @@ impl std::fmt::Debug for NotificationSlot {
             .field("complete", &self.is_complete())
             .finish()
     }
+}
+
+/// A shared eventcount: multi-slot waiters park here once instead of
+/// polling every slot. `signal` costs completers one `SeqCst` load while no
+/// waiter is parked.
+struct EventCount {
+    /// Bumped by every signal that found a registered waiter; waiters
+    /// sleep only while the epoch they captured is still current.
+    epoch: AtomicUsize,
+    /// Registered multi-slot waiters (parked or about to park).
+    waiters: AtomicUsize,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl EventCount {
+    const fn new() -> Self {
+        EventCount {
+            epoch: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Completer side. Dekker with `wait`: either the waiter's registration
+    /// is visible here (bump + broadcast), or the completing write is
+    /// visible to the waiter's post-registration rescan.
+    fn signal(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(self.mutex.lock());
+        self.condvar.notify_all();
+    }
+
+    /// Waiter side: register, capture the epoch, let `rescan` run once, and
+    /// park until the epoch moves (or the deadline passes). Returns what
+    /// `rescan` returned; `None` means "parked and woke (or timed out),
+    /// rescan again".
+    fn wait_for<T>(
+        &self,
+        deadline: Option<Instant>,
+        mut rescan: impl FnMut() -> Option<T>,
+    ) -> Option<T> {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let hit = rescan();
+        if hit.is_none() {
+            let mut guard = self.mutex.lock();
+            while self.epoch.load(Ordering::SeqCst) == epoch {
+                match deadline {
+                    Some(d) => {
+                        if self.condvar.wait_until(&mut guard, d).timed_out() {
+                            break;
+                        }
+                    }
+                    None => self.condvar.wait(&mut guard),
+                }
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        hit
+    }
+}
+
+/// The process-wide eventcount shared by all slots. One static is enough:
+/// cross-slot spurious wakeups only cost a rescan, and missed wakeups are
+/// impossible (see `EventCount::signal`).
+fn any_event() -> &'static EventCount {
+    static EVENT: EventCount = EventCount::new();
+    &EVENT
 }
 
 /// The application-side handle to one buffer's completion pointer, returned
@@ -148,24 +349,15 @@ impl Notification {
     pub fn wait(&mut self) -> CompletedBuffer {
         assert!(!self.consumed, "notification already consumed");
         // Fast path: spin on the state word.
-        for _ in 0..SPIN_LIMIT {
+        for spins in 0..SPIN_LIMIT {
             if self.slot.is_complete() {
                 self.consumed = true;
                 return self.slot.take_payload();
             }
-            std::hint::spin_loop();
+            self.slot.spin_step(spins);
         }
-        // Slow path: park on the condvar. Register *before* re-checking the
-        // payload under the mutex — the completer stores the payload under
-        // the same mutex before it reads the waiter count, so a registration
-        // it misses implies a payload this check cannot miss.
-        self.slot.waiters.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.slot.payload.lock();
-        while guard.is_none() {
-            self.slot.condvar.wait(&mut guard);
-        }
-        drop(guard);
-        self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
+        // Slow path: register and park.
+        self.slot.park_until(None);
         self.consumed = true;
         self.slot.take_payload()
     }
@@ -174,39 +366,30 @@ impl Notification {
     /// returning `None` on expiry.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Option<CompletedBuffer> {
         assert!(!self.consumed, "notification already consumed");
-        let deadline = std::time::Instant::now() + timeout;
-        for _ in 0..SPIN_LIMIT {
+        let deadline = Instant::now() + timeout;
+        for spins in 0..SPIN_LIMIT {
             if self.slot.is_complete() {
                 self.consumed = true;
                 return Some(self.slot.take_payload());
             }
-            std::hint::spin_loop();
+            self.slot.spin_step(spins);
         }
-        self.slot.waiters.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.slot.payload.lock();
-        while guard.is_none() {
-            if self
-                .slot
-                .condvar
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
-                let done = guard.is_some();
-                drop(guard);
-                self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
-                return if done {
-                    self.consumed = true;
-                    Some(self.slot.take_payload())
-                } else {
-                    None
-                };
-            }
+        if self.slot.park_until(Some(deadline)) {
+            self.consumed = true;
+            Some(self.slot.take_payload())
+        } else {
+            None
         }
-        drop(guard);
-        self.slot.waiters.fetch_sub(1, Ordering::SeqCst);
-        self.consumed = true;
-        Some(self.slot.take_payload())
     }
+}
+
+fn scan(notifications: &mut [Notification]) -> Option<(usize, CompletedBuffer)> {
+    for (i, n) in notifications.iter_mut().enumerate() {
+        if let Some(buf) = n.poll() {
+            return Some((i, buf));
+        }
+    }
+    None
 }
 
 /// Wait until *any* of the given notifications completes; returns the index
@@ -220,25 +403,26 @@ impl Notification {
 ///
 /// # Blocking
 /// Spins across the slots (each check is one atomic load — the multi-slot
-/// analogue of arming Monitor/MWait on several lines), yielding
-/// periodically. Unlike [`Notification::wait`] this cannot park, since any
-/// of N independent writers may fire.
+/// analogue of arming Monitor/MWait on several lines), then parks on a
+/// shared eventcount that every completing write signals — one park for the
+/// whole set, instead of a poll loop over every slot.
 pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedBuffer)> {
     if notifications.iter().all(Notification::is_consumed) {
         return None;
     }
-    let mut spins = 0u32;
-    loop {
-        for (i, n) in notifications.iter_mut().enumerate() {
-            if let Some(buf) = n.poll() {
-                return Some((i, buf));
-            }
+    for spins in 0..SPIN_LIMIT {
+        if let Some(hit) = scan(notifications) {
+            return Some(hit);
         }
-        spins += 1;
-        if spins.is_multiple_of(1024) {
+        if spins % 1024 == 1023 {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
+        }
+    }
+    loop {
+        if let Some(hit) = any_event().wait_for(None, || scan(notifications)) {
+            return Some(hit);
         }
     }
 }
@@ -247,6 +431,9 @@ pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedB
 /// no completion (or when every notification was already consumed). The
 /// escape hatch a fault-tolerant consumer needs — on a lossy fabric "any of
 /// these will complete" is no longer a certainty.
+///
+/// The deadline is computed **once**, up front, so the cost of scanning a
+/// long slot list can never stretch the caller's timeout.
 pub fn wait_any_timeout(
     notifications: &mut [Notification],
     timeout: Duration,
@@ -254,22 +441,28 @@ pub fn wait_any_timeout(
     if notifications.iter().all(Notification::is_consumed) {
         return None;
     }
-    let deadline = std::time::Instant::now() + timeout;
-    let mut spins = 0u32;
-    loop {
-        for (i, n) in notifications.iter_mut().enumerate() {
-            if let Some(buf) = n.poll() {
-                return Some((i, buf));
-            }
+    let deadline = Instant::now() + timeout;
+    for spins in 0..SPIN_LIMIT {
+        if let Some(hit) = scan(notifications) {
+            return Some(hit);
         }
-        if std::time::Instant::now() >= deadline {
+        if Instant::now() >= deadline {
             return None;
         }
-        spins += 1;
-        if spins.is_multiple_of(1024) {
+        if spins % 1024 == 1023 {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
+        }
+    }
+    loop {
+        if let Some(hit) = any_event().wait_for(Some(deadline), || scan(notifications)) {
+            return Some(hit);
+        }
+        if Instant::now() >= deadline {
+            // One last scan so a completion racing the deadline is not
+            // reported as a timeout.
+            return scan(notifications);
         }
     }
 }
@@ -372,6 +565,18 @@ mod tests {
     }
 
     #[test]
+    fn baseline_slot_round_trips() {
+        let slot = NotificationSlot::with_baseline(true);
+        let mut n = Notification::new(slot.clone());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.complete(completed(6));
+        });
+        assert_eq!(n.wait().data(), &[6; 8]);
+        t.join().unwrap();
+    }
+
+    #[test]
     fn wait_any_returns_first_completion() {
         let slots: Vec<_> = (0..4).map(|_| NotificationSlot::new()).collect();
         let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
@@ -398,6 +603,24 @@ mod tests {
     }
 
     #[test]
+    fn wait_any_parks_and_wakes_after_spin_budget() {
+        // Completion arrives long after the spin budget: the waiter must be
+        // parked on the eventcount by then, and the completing write must
+        // wake it.
+        let slots: Vec<_> = (0..2).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        let slot = slots[0].clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            slot.complete(completed(8));
+        });
+        let (idx, buf) = wait_any(&mut ns).expect("completion arrives");
+        assert_eq!(idx, 0);
+        assert_eq!(buf.data(), &[8; 8]);
+        t.join().unwrap();
+    }
+
+    #[test]
     fn wait_any_all_consumed_is_none() {
         let slot = NotificationSlot::new();
         let mut ns = vec![Notification::new(slot.clone())];
@@ -418,6 +641,20 @@ mod tests {
         let (idx, buf) = wait_any_timeout(&mut ns, Duration::from_secs(5)).unwrap();
         assert_eq!(idx, 1);
         assert_eq!(buf.data(), &[2; 8]);
+    }
+
+    #[test]
+    fn wait_any_timeout_wakes_from_park() {
+        let slots: Vec<_> = (0..2).map(|_| NotificationSlot::new()).collect();
+        let mut ns: Vec<_> = slots.iter().map(|s| Notification::new(s.clone())).collect();
+        let slot = slots[1].clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            slot.complete(completed(3));
+        });
+        let (idx, _) = wait_any_timeout(&mut ns, Duration::from_secs(10)).expect("arrives");
+        assert_eq!(idx, 1);
+        t.join().unwrap();
     }
 
     #[test]

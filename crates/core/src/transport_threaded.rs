@@ -16,9 +16,10 @@
 //!
 //! # Threading model
 //!
-//! The pool models a multi-queue NIC. Each worker owns one FIFO queue;
-//! fragments are sharded across queues by a hash of **(destination node,
-//! destination mailbox)**. Two consequences:
+//! The pool models a multi-queue NIC. Each worker owns one **bounded MPSC
+//! ring queue** ([`RingQueue`]); fragments are
+//! sharded across queues by a hash of **(destination node, destination
+//! mailbox)**. Two consequences:
 //!
 //! * **Per-mailbox ordering is preserved.** Every fragment addressed to a
 //!   given mailbox traverses the same FIFO queue and is delivered by the
@@ -30,6 +31,24 @@
 //!   spreads across min(N, workers) queues; with the sharded LUT and the
 //!   mailbox's copy-outside-the-lock delivery there is no shared lock left
 //!   on the datapath, so workers proceed independently.
+//!
+//! **Backpressure contract.** Each ring holds at most
+//! [`EndpointConfig::wire_queue_cap`](crate::endpoint::EndpointConfig)
+//! messages. A submission finding its ring full **blocks** (spin, then
+//! yield) until the worker frees a slot — it never silently drops a
+//! fragment and never grows the queue. A slow receiver under incast
+//! therefore stalls its senders instead of swallowing unbounded memory;
+//! the stall count and high-water depth are observable through
+//! [`AsyncNetwork::queue_stats`] and the endpoint's `StatsSnapshot`.
+//!
+//! **Idle policy.** A worker that finds its ring empty runs an adaptive
+//! spin → yield → park progression
+//! ([`wire_idle_spins`](crate::endpoint::EndpointConfig) busy-poll
+//! iterations, then [`wire_idle_yields`](crate::endpoint::EndpointConfig)
+//! `yield_now` rounds, then `thread::park`). Producers ring a doorbell
+//! (one `SeqCst` flag check per push, `unpark` only when the worker is
+//! actually parked), so an idle worker costs nothing while a hot worker
+//! never takes a futex wake on the fragment path.
 //!
 //! The worker count comes from [`AsyncNetwork::with_options`] (or
 //! [`EndpointConfig::wire_workers`](crate::endpoint::EndpointConfig) via
@@ -78,9 +97,9 @@
 //! [`AsyncNetwork::for_endpoint_config`] with a non-trivial
 //! [`EndpointConfig::fault_model`](crate::endpoint::EndpointConfig) turns
 //! each wire worker into a lossy link with its own seeded
-//! [`FaultInjector`](crate::retry::FaultInjector) (seeds derived from
+//! [`FaultInjector`] (seeds derived from
 //! [`fault_seed`](crate::endpoint::EndpointConfig), counters shared in one
-//! [`FaultStats`](crate::retry::FaultStats)). A faulted fragment is handled
+//! [`FaultStats`]). A faulted fragment is handled
 //! the way a reliable link layer handles it:
 //!
 //! * **drop / defer** — the fragment is re-enqueued on the *same* worker
@@ -107,14 +126,14 @@ use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::pool::{PayloadPool, PoolStats};
 use crate::retry::{FaultInjector, FaultModel, FaultStats};
+use crate::ring::{PushError, RingQueue, RingStats, RingStatsSnapshot};
 use crate::transport::{DeliveryOrder, DEFAULT_MTU};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -186,8 +205,11 @@ struct Shared {
     mtu: usize,
     order: DeliveryOrder,
     rng: Mutex<StdRng>,
-    /// One FIFO queue per wire worker.
-    queues: Vec<Sender<WireMsg>>,
+    /// One bounded FIFO ring per wire worker (see the module docs'
+    /// backpressure contract).
+    queues: Vec<Arc<RingQueue<WireMsg>>>,
+    /// Depth/backpressure counters shared by every ring of this network.
+    ring_stats: Arc<RingStats>,
     /// Configuration applied to endpoints created by
     /// [`AsyncNetwork::add_endpoint`] (dedup window, fault model, …).
     endpoint_config: EndpointConfig,
@@ -415,17 +437,85 @@ fn finish_retry(faults: Option<&FaultPlan>, attempt: u32) {
     }
 }
 
-fn wire_worker(
-    shared: Arc<Shared>,
-    idx: usize,
-    rx: crossbeam::channel::Receiver<WireMsg>,
-    latency: Duration,
-) -> u64 {
+/// Queue a link-level retransmission on this worker's own ring without
+/// ever blocking on it: the worker IS the ring's consumer, so a blocking
+/// push on a full ring would deadlock the shard. Overflow spills into the
+/// worker-local `deferred` list, drained whenever the ring has room (or
+/// runs dry) and at Stop. `pending_retries` covers spilled messages the
+/// same as ringed ones, so `quiesce` still waits them out.
+fn enqueue_retry(ring: &RingQueue<WireMsg>, deferred: &mut VecDeque<WireMsg>, msg: WireMsg) {
+    if let Err(PushError::Full(m) | PushError::Closed(m)) = ring.try_push(msg) {
+        deferred.push_back(m);
+    }
+}
+
+/// The worker's receive step: ring first, spilled retransmissions when the
+/// ring runs dry, then the adaptive spin → yield → park idle progression.
+/// Returns `None` after a park wake-up (the caller re-polls).
+fn next_msg(
+    ring: &RingQueue<WireMsg>,
+    deferred: &mut VecDeque<WireMsg>,
+    idle_spins: u32,
+    idle_yields: u32,
+) -> Option<WireMsg> {
+    // Opportunistically migrate one spilled retransmission back onto the
+    // ring (behind the queued traffic, which is where a retransmitted copy
+    // belongs) so the spill list drains even while the shard stays busy.
+    if let Some(m) = deferred.pop_front() {
+        if let Err(PushError::Full(m) | PushError::Closed(m)) = ring.try_push(m) {
+            deferred.push_front(m);
+        }
+    }
+    if let Some(m) = ring.try_pop() {
+        return Some(m);
+    }
+    if let Some(m) = deferred.pop_front() {
+        return Some(m);
+    }
+    for _ in 0..idle_spins {
+        if let Some(m) = ring.try_pop() {
+            return Some(m);
+        }
+        std::hint::spin_loop();
+    }
+    for _ in 0..idle_yields {
+        if let Some(m) = ring.try_pop() {
+            return Some(m);
+        }
+        std::thread::yield_now();
+    }
+    ring.park_consumer();
+    None
+}
+
+fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
     let mut delivered = 0u64;
     let mut cache = EndpointCache::new();
-    // Retransmissions go to the back of this worker's own queue, keeping
-    // every retried fragment on the FIFO that owns its mailbox.
-    let self_tx = shared.queues[idx].clone();
+    // Retransmissions go to the back of this worker's own ring, keeping
+    // every retried fragment on the FIFO that owns its mailbox; `deferred`
+    // absorbs them when the ring is full (see `enqueue_retry`).
+    let ring = shared.queues[idx].clone();
+    ring.register_consumer();
+    let mut deferred: VecDeque<WireMsg> = VecDeque::new();
+    // Spinning only helps when producer and consumer can run in parallel.
+    // On a single-CPU host an idle-spinning worker *holds the core the
+    // producer needs*, turning every put into a scheduler-granularity
+    // stall — park immediately instead and let the doorbell's wakeup
+    // preemption provide the fast handoff.
+    let parallel = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        > 1;
+    let idle_spins = if parallel {
+        shared.endpoint_config.wire_idle_spins
+    } else {
+        0
+    };
+    let idle_yields = if parallel {
+        shared.endpoint_config.wire_idle_yields
+    } else {
+        0
+    };
     // Each worker rolls its own seeded dice; the counters are shared, so
     // `crash_after_frags` keys off the network-wide transmit sequence.
     let mut injector = shared.faults.as_ref().map(|plan| {
@@ -434,12 +524,23 @@ fn wire_worker(
     });
     // NACKs of one batch collect here and publish with a single sink lock.
     let mut scratch_nacks: Vec<(VirtAddr, NackReason)> = Vec::new();
-    while let Ok(msg) = rx.recv() {
+    loop {
+        let Some(msg) = next_msg(&ring, &mut deferred, idle_spins, idle_yields) else {
+            continue; // woke from park: re-poll
+        };
         match msg {
             WireMsg::Stop => {
-                // Retransmissions re-enqueued behind the Stop marker must
-                // not be stranded: drain the queue delivering fault-free.
-                while let Ok(tail) = rx.try_recv() {
+                // Retransmissions re-enqueued (or spilled) behind the Stop
+                // marker must not be stranded: drain the ring and the spill
+                // list, delivering fault-free.
+                loop {
+                    let tail = match ring.try_pop() {
+                        Some(m) => m,
+                        None => match deferred.pop_front() {
+                            Some(m) => m,
+                            None => break,
+                        },
+                    };
                     match tail {
                         WireMsg::Deliver {
                             dest,
@@ -494,12 +595,16 @@ fn wire_worker(
                             // simply one that re-arrives behind the queue's
                             // younger traffic.
                             plan.pending_retries.fetch_add(1, Ordering::AcqRel);
-                            let _ = self_tx.send(WireMsg::Deliver {
-                                dest,
-                                frag,
-                                nacks,
-                                attempt: attempt + 1,
-                            });
+                            enqueue_retry(
+                                &ring,
+                                &mut deferred,
+                                WireMsg::Deliver {
+                                    dest,
+                                    frag,
+                                    nacks,
+                                    attempt: attempt + 1,
+                                },
+                            );
                             finish_retry(shared.faults.as_ref(), attempt);
                             continue;
                         }
@@ -533,12 +638,16 @@ fn wire_worker(
                             }
                             if d.drop || d.defer_spans > 0 {
                                 plan.pending_retries.fetch_add(1, Ordering::AcqRel);
-                                let _ = self_tx.send(WireMsg::Deliver {
-                                    dest,
-                                    frag,
-                                    nacks: nacks.clone(),
-                                    attempt: 1,
-                                });
+                                enqueue_retry(
+                                    &ring,
+                                    &mut deferred,
+                                    WireMsg::Deliver {
+                                        dest,
+                                        frag,
+                                        nacks: nacks.clone(),
+                                        attempt: 1,
+                                    },
+                                );
                                 continue;
                             }
                             if d.duplicate {
@@ -620,13 +729,15 @@ impl AsyncNetwork {
             DeliveryOrder::OutOfOrder { seed } => seed,
             DeliveryOrder::InOrder => 0,
         };
-        let mut queues = Vec::with_capacity(workers);
-        let mut receivers = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = unbounded::<WireMsg>();
-            queues.push(tx);
-            receivers.push(rx);
-        }
+        let ring_stats = Arc::new(RingStats::default());
+        let queues: Vec<Arc<RingQueue<WireMsg>>> = (0..workers)
+            .map(|_| {
+                Arc::new(RingQueue::with_stats(
+                    endpoint_config.wire_queue_cap,
+                    ring_stats.clone(),
+                ))
+            })
+            .collect();
         let faults = (!endpoint_config.fault_model.is_none()).then(|| FaultPlan {
             model: endpoint_config.fault_model,
             budget: endpoint_config.retry_budget.max(1),
@@ -641,17 +752,16 @@ impl AsyncNetwork {
             order,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             queues,
+            ring_stats,
             endpoint_config,
             faults,
         });
-        let workers = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(i, rx)| {
+        let workers = (0..shared.queues.len())
+            .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("rvma-wire-{i}"))
-                    .spawn(move || wire_worker(shared, i, rx, latency))
+                    .spawn(move || wire_worker(shared, i, latency))
                     .expect("spawn wire worker")
             })
             .collect();
@@ -675,6 +785,7 @@ impl AsyncNetwork {
     /// applies to every endpoint of the network).
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
         let ep = RvmaEndpoint::with_config(addr, self.shared.endpoint_config.clone());
+        ep.attach_wire_stats(self.shared.ring_stats.clone());
         self.shared.endpoints.write().insert(addr, ep.clone());
         self.shared.generation.fetch_add(1, Ordering::Release);
         ep
@@ -682,6 +793,7 @@ impl AsyncNetwork {
 
     /// Attach an existing endpoint.
     pub fn register(&self, endpoint: Arc<RvmaEndpoint>) {
+        endpoint.attach_wire_stats(self.shared.ring_stats.clone());
         self.shared
             .endpoints
             .write()
@@ -728,7 +840,7 @@ impl AsyncNetwork {
         loop {
             let acks = Arc::new(AtomicUsize::new(0));
             for q in &self.shared.queues {
-                let _ = q.send(WireMsg::Flush { acks: acks.clone() });
+                let _ = q.push(WireMsg::Flush { acks: acks.clone() });
             }
             while acks.load(Ordering::Acquire) < self.shared.queues.len() {
                 std::thread::yield_now();
@@ -744,17 +856,30 @@ impl AsyncNetwork {
     pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
         self.shared.faults.as_ref().map(|p| p.stats.clone())
     }
+
+    /// Point-in-time wire-queue counters (high-water ring depth,
+    /// backpressure stalls, park wakeups), aggregated across the pool's
+    /// rings. The same counters are merged into each attached endpoint's
+    /// [`StatsSnapshot`](crate::endpoint::StatsSnapshot).
+    pub fn queue_stats(&self) -> RingStatsSnapshot {
+        self.shared.ring_stats.snapshot()
+    }
 }
 
 impl Drop for AsyncNetwork {
     fn drop(&mut self) {
         // A Stop marker lands behind all previously queued traffic on each
-        // FIFO queue, so every shard drains fully before its worker exits.
+        // FIFO ring, so every shard drains fully before its worker exits.
         for q in &self.shared.queues {
-            let _ = q.send(WireMsg::Stop);
+            let _ = q.push(WireMsg::Stop);
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Only now close the rings: a submitter racing this drop stops
+        // blocking on the (now consumer-less) ring and fails fast.
+        for q in &self.shared.queues {
+            q.close();
         }
     }
 }
@@ -820,7 +945,11 @@ impl AsyncInitiator {
     /// Steady state (warm route cache, warm payload pool) acquires no
     /// `RwLock` and performs no heap allocation beyond the pooled payload
     /// copy; a put of at most one MTU additionally skips the fragment
-    /// vector entirely and crosses the channel as a single message.
+    /// vector entirely and crosses the ring as a single message.
+    ///
+    /// If the destination shard's ring is full, the submission **blocks**
+    /// (spin, then yield) until the wire worker frees a slot — the
+    /// backpressure contract of the module docs. It never drops.
     pub fn put_at(
         &self,
         dest: NodeAddr,
@@ -849,7 +978,7 @@ impl AsyncInitiator {
                 data: self.pool.acquire(data),
             };
             return queue
-                .send(WireMsg::Deliver {
+                .push(WireMsg::Deliver {
                     dest,
                     frag,
                     nacks: self.nacks.clone(),
@@ -859,7 +988,7 @@ impl AsyncInitiator {
         }
         let frags = self.fragment(vaddr, op_id, offset, data);
         queue
-            .send(WireMsg::DeliverBatch {
+            .push(WireMsg::DeliverBatch {
                 dest,
                 frags,
                 nacks: self.nacks.clone(),
@@ -943,7 +1072,7 @@ impl AsyncInitiator {
         let queue = &self.shared.queues[self.shared.queue_index(dest, vaddr)];
         for frag in frags {
             queue
-                .send(WireMsg::Deliver {
+                .push(WireMsg::Deliver {
                     dest,
                     frag,
                     nacks: self.nacks.clone(),
@@ -1092,7 +1221,7 @@ impl PutBatch<'_> {
             // doorbell threshold, and regrowing from empty would pay
             // several reallocations per batch.
             let batch = std::mem::replace(frags, Vec::with_capacity(doorbell));
-            let sent = self.init.shared.queues[*queue_idx].send(WireMsg::DeliverBatch {
+            let sent = self.init.shared.queues[*queue_idx].push(WireMsg::DeliverBatch {
                 dest: *dest,
                 frags: batch,
                 nacks: self.init.nacks.clone(),

@@ -98,7 +98,7 @@ impl Window {
 
     /// Post a buffer with an explicit per-buffer threshold override.
     pub fn post_buffer_with(&self, buf: Vec<u8>, threshold: Threshold) -> Result<Notification> {
-        let slot = NotificationSlot::new();
+        let slot = NotificationSlot::with_baseline(self.endpoint.config().notify_baseline);
         self.mailbox
             .lock()
             .post(PostedBuffer::new(buf, threshold, slot.clone()))?;
@@ -119,7 +119,7 @@ impl Window {
     /// [`post_pooled`](Window::post_pooled) with an explicit per-buffer
     /// threshold override.
     pub fn post_pooled_with(&self, len: usize, threshold: Threshold) -> Result<Notification> {
-        let slot = NotificationSlot::new();
+        let slot = NotificationSlot::with_baseline(self.endpoint.config().notify_baseline);
         self.mailbox.lock().post(PostedBuffer::pooled(
             self.pool.take(len),
             threshold,

@@ -1,0 +1,155 @@
+//! Bounded-ring backpressure under incast, and the park/doorbell idle
+//! path, exercised through the public `AsyncNetwork` API.
+//!
+//! Invariants checked:
+//! * a full wire ring *blocks* producers — it never drops a fragment, so
+//!   every put still lands and every epoch completes;
+//! * resident ring entries never exceed the configured capacity
+//!   (`max_depth <= wire_queue_cap`), which bounds queue memory under any
+//!   incast pattern;
+//! * the stall and doorbell counters surface through `EndpointStats`;
+//! * a ring held at capacity deadlocks neither `quiesce` nor `Drop`.
+
+use rvma::core::transport::DeliveryOrder;
+use rvma::core::{AsyncNetwork, EndpointConfig, NodeAddr, Threshold, VirtAddr};
+use std::time::Duration;
+
+const RING_CAP: usize = 8;
+
+fn tiny_ring_net(workers: usize) -> AsyncNetwork {
+    let config = EndpointConfig {
+        wire_queue_cap: RING_CAP,
+        wire_workers: workers,
+        ..EndpointConfig::default()
+    };
+    AsyncNetwork::for_endpoint_config(256, DeliveryOrder::InOrder, Duration::ZERO, &config)
+}
+
+/// Incast: 4 senders hammer single-fragment puts through rings of
+/// capacity 8. The ring must stall the producers (never drop), so every
+/// byte arrives and the observed depth stays within the cap.
+#[test]
+fn incast_through_a_tiny_ring_loses_nothing() {
+    const SENDERS: u64 = 4;
+    const PUTS: u64 = 512;
+    const MSG: usize = 64; // <= MTU: one ring entry per put
+
+    let net = tiny_ring_net(2);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let mut notes = Vec::new();
+    for m in 0..SENDERS {
+        let win = server
+            .init_window(VirtAddr::new(m), Threshold::ops(PUTS))
+            .unwrap();
+        notes.push(win.post_buffer(vec![0u8; MSG]).unwrap());
+    }
+
+    std::thread::scope(|s| {
+        for m in 0..SENDERS {
+            let init = net.initiator(NodeAddr::node(m as u32 + 1));
+            s.spawn(move || {
+                let payload = vec![m as u8 + 1; MSG];
+                for _ in 0..PUTS {
+                    // Writes land on the same 64 bytes; the op *count*
+                    // drives the threshold, so the epoch completes after
+                    // exactly PUTS puts.
+                    init.put_at(NodeAddr::node(0), VirtAddr::new(m), 0, &payload)
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    for (m, n) in notes.iter_mut().enumerate() {
+        let buf = n.wait();
+        assert_eq!(
+            buf.data(),
+            vec![m as u8 + 1; MSG].as_slice(),
+            "lost or corrupted bytes (sender {m})"
+        );
+    }
+    net.quiesce();
+
+    let stats = server.stats();
+    assert_eq!(stats.epochs_completed, SENDERS, "every epoch exactly once");
+    assert_eq!(
+        stats.fragments_accepted,
+        SENDERS * PUTS,
+        "a full ring must block, never drop"
+    );
+    assert!(
+        stats.max_depth <= RING_CAP as u64,
+        "resident entries exceeded the ring cap: {} > {RING_CAP}",
+        stats.max_depth
+    );
+    assert!(stats.max_depth > 0, "high-water mark never observed a push");
+    // 2048 single-fragment puts through 16 slots of ring: producers must
+    // have hit a full ring at least once.
+    assert!(
+        stats.full_stalls > 0,
+        "incast through a cap-{RING_CAP} ring never stalled a producer"
+    );
+}
+
+/// A paced sender lets the wire worker park between puts; the doorbell
+/// must wake it every time (counted in `park_wakeups`), and teardown of a
+/// recently-parked pool must not hang.
+#[test]
+fn parked_workers_wake_on_the_doorbell() {
+    let net = tiny_ring_net(1);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    const PUTS: u64 = 5;
+    let win = server
+        .init_window(VirtAddr::new(7), Threshold::ops(PUTS))
+        .unwrap();
+    let mut note = win.post_buffer(vec![0u8; 64]).unwrap();
+    let init = net.initiator(NodeAddr::node(1));
+    for _ in 0..PUTS {
+        // Long enough for the worker to exhaust any idle budget and park.
+        std::thread::sleep(Duration::from_millis(5));
+        init.put_at(NodeAddr::node(0), VirtAddr::new(7), 0, &[1u8; 8])
+            .unwrap();
+    }
+    // Valid length mirrors the hardware's received-byte count: 5 puts of
+    // 8 bytes over the same offset.
+    assert_eq!(note.wait().len(), PUTS as usize * 8);
+    let stats = server.stats();
+    assert!(
+        stats.park_wakeups > 0,
+        "worker never parked/woke across {PUTS} paced puts"
+    );
+}
+
+/// Drop the network while producers are mid-stream against a full ring:
+/// blocked `push` calls must resolve (the rings close only after the
+/// workers drain and join), not deadlock. Losing a racing put to the
+/// closed network is acceptable; hanging is not.
+#[test]
+fn drop_races_blocked_producers_without_deadlock() {
+    for round in 0..8u64 {
+        let net = tiny_ring_net(1);
+        let server = net.add_endpoint(NodeAddr::node(0));
+        let win = server
+            .init_window(VirtAddr::new(round), Threshold::ops(u64::MAX))
+            .unwrap();
+        let _note = win.post_buffer(vec![0u8; 64]).unwrap();
+        let init = net.initiator(NodeAddr::node(1));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Errors (network torn down mid-put) are expected here;
+                // the assertion is that this thread terminates.
+                for _ in 0..512 {
+                    if init
+                        .put_at(NodeAddr::node(0), VirtAddr::new(round), 0, &[9u8; 32])
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+            // Tear down while the producer is likely stalled on the ring.
+            std::thread::sleep(Duration::from_micros(200 * round));
+            drop(net);
+        });
+    }
+}

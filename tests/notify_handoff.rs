@@ -1,0 +1,165 @@
+//! Seeded races of the lock-free completion handoff: a delivery thread's
+//! completing write racing `poll`, `wait`, `wait_timeout`, and `wait_any`
+//! on the consumer side, across a sweep of completer delays that straddle
+//! both the spin fast path and the parked slow path.
+//!
+//! Invariants checked:
+//! * exactly one consumer call obtains the buffer, with the right bytes;
+//! * a timeout racing the completing write either returns the buffer or
+//!   leaves it takeable — a completion is never lost in the gap;
+//! * `wait_any` returns each completion exactly once however the
+//!   completer interleaves;
+//! * `wait_any_timeout` honors one overall deadline (regression: it used
+//!   to restart the clock every park round).
+
+use rvma::core::transport::DeliveryOrder;
+use rvma::core::{
+    wait_any, wait_any_timeout, AsyncNetwork, NodeAddr, Notification, Threshold, VirtAddr,
+};
+use std::time::{Duration, Instant};
+
+fn one_put_setup(msg: usize) -> (AsyncNetwork, Notification) {
+    let net = AsyncNetwork::new(1024, DeliveryOrder::InOrder, Duration::ZERO);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let win = server
+        .init_window(VirtAddr::new(1), Threshold::bytes(msg as u64))
+        .unwrap();
+    let note = win.post_buffer(vec![0u8; msg]).unwrap();
+    (net, note)
+}
+
+/// Delays (µs) chosen to land the completing write before the consumer
+/// looks, mid-spin, and after the consumer parked.
+const DELAYS_US: [u64; 6] = [0, 5, 20, 100, 500, 2_000];
+
+#[test]
+fn completing_write_races_poll() {
+    for &delay in &DELAYS_US {
+        let (net, mut note) = one_put_setup(32);
+        let init = net.initiator(NodeAddr::node(1));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay));
+                init.put(NodeAddr::node(0), VirtAddr::new(1), &[7u8; 32])
+                    .unwrap();
+            });
+            let buf = loop {
+                if let Some(b) = note.poll() {
+                    break b;
+                }
+                std::hint::spin_loop();
+            };
+            assert_eq!(buf.data(), &[7u8; 32], "delay {delay}us");
+            assert!(note.poll().is_none(), "second poll must not re-deliver");
+            assert!(note.is_consumed());
+        });
+    }
+}
+
+#[test]
+fn completing_write_races_wait() {
+    for &delay in &DELAYS_US {
+        let (net, mut note) = one_put_setup(64);
+        let init = net.initiator(NodeAddr::node(1));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay));
+                init.put(NodeAddr::node(0), VirtAddr::new(1), &[9u8; 64])
+                    .unwrap();
+            });
+            assert_eq!(note.wait().data(), &[9u8; 64], "delay {delay}us");
+        });
+    }
+}
+
+#[test]
+fn completing_write_races_wait_timeout() {
+    // The timeout sits inside the delay sweep, so some rounds time out and
+    // some complete — both must be coherent, and a timed-out round must
+    // still surface the late completion afterwards.
+    for &delay in &DELAYS_US {
+        let (net, mut note) = one_put_setup(16);
+        let init = net.initiator(NodeAddr::node(1));
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay));
+                init.put(NodeAddr::node(0), VirtAddr::new(1), &[3u8; 16])
+                    .unwrap();
+            });
+            match note.wait_timeout(Duration::from_micros(300)) {
+                Some(buf) => {
+                    assert_eq!(buf.data(), &[3u8; 16], "delay {delay}us");
+                    assert!(note.is_consumed());
+                }
+                None => {
+                    // Completion must not be lost in the timeout race.
+                    assert!(!note.is_consumed());
+                    assert_eq!(note.wait().data(), &[3u8; 16], "delay {delay}us");
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn completer_interleaves_with_wait_any() {
+    const SLOTS: u64 = 6;
+    let net = AsyncNetwork::new(1024, DeliveryOrder::InOrder, Duration::ZERO);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let mut notes = Vec::new();
+    for m in 0..SLOTS {
+        let win = server
+            .init_window(VirtAddr::new(m), Threshold::bytes(8))
+            .unwrap();
+        notes.push(win.post_buffer(vec![0u8; 8]).unwrap());
+    }
+    let init = net.initiator(NodeAddr::node(1));
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            // Complete in scrambled order with pauses that push the waiter
+            // from its spin phase into the parked eventcount path.
+            for (k, m) in [3u64, 0, 5, 1, 4, 2].iter().enumerate() {
+                std::thread::sleep(Duration::from_micros(200 * k as u64));
+                init.put(NodeAddr::node(0), VirtAddr::new(*m), &[*m as u8; 8])
+                    .unwrap();
+            }
+        });
+        let mut seen = [false; SLOTS as usize];
+        for _ in 0..SLOTS {
+            let (idx, buf) = wait_any(&mut notes).expect("a completion is pending");
+            assert!(!seen[idx], "slot {idx} delivered twice");
+            seen[idx] = true;
+            assert_eq!(buf.data(), &[idx as u8; 8]);
+        }
+        assert!(seen.iter().all(|&s| s), "missing completions");
+        assert!(
+            wait_any(&mut notes).is_none(),
+            "all consumed: wait_any must report exhaustion"
+        );
+    });
+}
+
+/// Regression: `wait_any_timeout` computes one deadline up front. With 4
+/// never-completing slots, the old per-round clock restart stretched a
+/// 50 ms timeout to several multiples of it.
+#[test]
+fn wait_any_timeout_is_one_deadline_overall() {
+    let net = AsyncNetwork::new(1024, DeliveryOrder::InOrder, Duration::ZERO);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let mut notes = Vec::new();
+    for m in 0..4u64 {
+        let win = server
+            .init_window(VirtAddr::new(m), Threshold::ops(u64::MAX))
+            .unwrap();
+        notes.push(win.post_buffer(vec![0u8; 8]).unwrap());
+    }
+    let timeout = Duration::from_millis(50);
+    let start = Instant::now();
+    assert!(wait_any_timeout(&mut notes, timeout).is_none());
+    let elapsed = start.elapsed();
+    assert!(elapsed >= timeout, "returned before the deadline");
+    assert!(
+        elapsed < timeout * 4,
+        "deadline restarted while parking: took {elapsed:?} for a {timeout:?} timeout"
+    );
+}

@@ -1,0 +1,184 @@
+//! Single-put round-trip latency through the threaded datapath.
+//!
+//! One client, one server mailbox, one wire worker, zero modeled wire
+//! latency: each iteration pre-posts a pooled buffer, issues one `put_at`,
+//! and stamps the time until `Notification::wait` returns — so the
+//! measurement is the full submission → ring → delivery → completing
+//! write → wake chain and nothing else. Every sample is kept; the
+//! percentiles are computed from the full sorted vector, because the
+//! datapath rework (bounded rings, adaptive spin/park workers, lock-free
+//! completion handoff) targets exactly the tail that means and medians
+//! hide.
+//!
+//! Two configurations share the identical delivery fabric:
+//!
+//! * `tuned`    — the current datapath: bounded wire rings with a spin →
+//!   yield → park idle policy on the workers, and the lock-free
+//!   spin-then-park completion slot.
+//! * `baseline` — the pre-rework behavior, recreated through config: an
+//!   effectively unbounded ring (cap 2^20), workers that park immediately
+//!   when the ring is empty (a futex wake per message, like the old
+//!   channel), and `notify_baseline` (mutex + unconditional
+//!   `notify_all` completion, no waiter spin phase).
+//!
+//! Flags: `--quick` (tiny CI smoke, no CSV), `--baseline` / `--tuned`
+//! (run only that configuration). Default runs both and writes
+//! `results/put_latency.csv`.
+
+use rvma_bench::{print_table, write_csv};
+use rvma_core::transport::DeliveryOrder;
+use rvma_core::{AsyncNetwork, EndpointConfig, NodeAddr, Threshold, VirtAddr, DEFAULT_MTU};
+use std::time::{Duration, Instant};
+
+/// 8 B – 4 KiB: below, at, and above the 2 KiB MTU (the last two sizes
+/// cross from the inline single-fragment path into the batched path).
+const SIZES: [usize; 5] = [8, 64, 512, 2048, 4096];
+
+fn config_for(baseline: bool) -> EndpointConfig {
+    if baseline {
+        EndpointConfig {
+            wire_queue_cap: 1 << 20,
+            wire_idle_spins: 0,
+            wire_idle_yields: 0,
+            notify_baseline: true,
+            ..EndpointConfig::default()
+        }
+    } else {
+        EndpointConfig::default()
+    }
+}
+
+/// All measured round-trip samples (ns), in issue order.
+fn run(size: usize, warmup: usize, iters: usize, baseline: bool) -> Vec<u64> {
+    let net = AsyncNetwork::for_endpoint_config(
+        DEFAULT_MTU,
+        DeliveryOrder::InOrder,
+        Duration::ZERO,
+        &config_for(baseline),
+    );
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let client = net.initiator(NodeAddr::node(1));
+    let vaddr = VirtAddr::new(1);
+    let win = server
+        .init_window(vaddr, Threshold::bytes(size as u64))
+        .expect("window");
+    let payload = vec![0xA5u8; size];
+
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        // Pre-post (receiver-side work, outside the timed region); the
+        // pool recycles the previous epoch's allocation.
+        let mut note = win.post_pooled(size).expect("post");
+        let start = Instant::now();
+        client
+            .put_at(NodeAddr::node(0), vaddr, 0, &payload)
+            .expect("put");
+        let buf = note.wait();
+        let elapsed = start.elapsed();
+        debug_assert_eq!(buf.len(), size);
+        if i >= warmup {
+            samples.push(elapsed.as_nanos() as u64);
+        }
+    }
+    samples
+}
+
+/// Nearest-rank percentile of an already-sorted sample vector.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct Summary {
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    p999: u64,
+    min: u64,
+    mean: u64,
+}
+
+fn summarize(mut samples: Vec<u64>) -> Summary {
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    Summary {
+        p50: percentile(&samples, 0.50),
+        p90: percentile(&samples, 0.90),
+        p99: percentile(&samples, 0.99),
+        p999: percentile(&samples, 0.999),
+        min: samples[0],
+        mean,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only_baseline = args.iter().any(|a| a == "--baseline");
+    let only_tuned = args.iter().any(|a| a == "--tuned");
+    let (warmup, iters) = if quick { (50, 300) } else { (2_000, 20_000) };
+
+    let configs: &[(&str, bool)] = match (only_baseline, only_tuned) {
+        (true, false) => &[("baseline", true)],
+        (false, true) => &[("tuned", false)],
+        _ => &[("baseline", true), ("tuned", false)],
+    };
+
+    println!(
+        "single-put round-trip latency: {iters} samples/cell after {warmup} warmup, \
+         MTU {DEFAULT_MTU}, zero wire latency, 1 worker\n"
+    );
+
+    let headers = [
+        "config", "size_B", "iters", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "min_ns", "mean_ns",
+    ];
+    let mut rows = Vec::new();
+    let mut per_size: Vec<(usize, Option<Summary>, Option<Summary>)> = Vec::new();
+    for &size in &SIZES {
+        let mut cell: (usize, Option<Summary>, Option<Summary>) = (size, None, None);
+        for &(name, baseline) in configs {
+            let s = summarize(run(size, warmup, iters, baseline));
+            rows.push(vec![
+                name.to_string(),
+                size.to_string(),
+                iters.to_string(),
+                s.p50.to_string(),
+                s.p90.to_string(),
+                s.p99.to_string(),
+                s.p999.to_string(),
+                s.min.to_string(),
+                s.mean.to_string(),
+            ]);
+            if baseline {
+                cell.1 = Some(s);
+            } else {
+                cell.2 = Some(s);
+            }
+        }
+        per_size.push(cell);
+    }
+    print_table(&headers, &rows);
+
+    // A/B verdict when both configurations ran.
+    if per_size.iter().any(|(_, b, t)| b.is_some() && t.is_some()) {
+        println!("\ntuned vs baseline (same fabric, config-only difference):");
+        for (size, baseline, tuned) in &per_size {
+            let (Some(b), Some(t)) = (baseline, tuned) else {
+                continue;
+            };
+            println!(
+                "  {size:>5} B: p50 {:.2}x, p99 {:.2}x, p999 {:.2}x  (baseline/tuned; >1 = tuned faster)",
+                b.p50 as f64 / t.p50 as f64,
+                b.p99 as f64 / t.p99 as f64,
+                b.p999 as f64 / t.p999 as f64,
+            );
+        }
+    }
+
+    if !quick {
+        match write_csv("put_latency", &headers, &rows) {
+            Ok(p) => println!("\ncsv: {p}"),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use rvma_bench::{motif_matrix, print_table, SweepConfig};
 use rvma_core::transport::DeliveryOrder;
-use rvma_core::{AsyncNetwork, EndpointConfig, NodeAddr, Threshold, VirtAddr};
+use rvma_core::{AsyncNetwork, EndpointConfig, EventKind, NodeAddr, Span, Threshold, VirtAddr};
 use rvma_microbench::{peak_reduction, ucx_connectx5, verbs_omnipath};
 use rvma_motifs::{Halo3dConfig, Halo3dNode, Sweep3dConfig, Sweep3dNode};
 use rvma_nic::{HostLogic, NicConfig};
@@ -63,6 +63,76 @@ fn datapath_counters() -> Vec<Vec<String>> {
         row("worker doorbell wakeups", stats.park_wakeups.to_string()),
         row("epochs completed", stats.epochs_completed.to_string()),
     ]
+}
+
+/// Render nanoseconds compactly (ns below 10 µs, µs above).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else {
+        format!("{:.1} us", ns as f64 / 1_000.0)
+    }
+}
+
+/// Re-run the incast burst with op-level telemetry enabled and render the
+/// per-span latency histograms (log-scale buckets, nearest-rank
+/// quantiles) plus the lifecycle event counts.
+fn telemetry_histograms() -> (Vec<Vec<String>>, Vec<Vec<String>>) {
+    const SENDERS: u64 = 4;
+    const PUTS: u64 = 2048;
+    let config = EndpointConfig {
+        telemetry: true,
+        ..EndpointConfig::default()
+    };
+    let net =
+        AsyncNetwork::for_endpoint_config(2048, DeliveryOrder::InOrder, Duration::ZERO, &config);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let mut notes = Vec::new();
+    for m in 0..SENDERS {
+        let win = server
+            .init_window(VirtAddr::new(m), Threshold::ops(PUTS))
+            .expect("window");
+        notes.push(win.post_buffer(vec![0u8; 64]).expect("post"));
+    }
+    std::thread::scope(|s| {
+        for m in 0..SENDERS {
+            let init = net.initiator(NodeAddr::node(m as u32 + 1));
+            s.spawn(move || {
+                for _ in 0..PUTS {
+                    init.put_at(NodeAddr::node(0), VirtAddr::new(m), 0, &[m as u8; 8])
+                        .expect("put");
+                }
+            });
+        }
+    });
+    for n in notes.iter_mut() {
+        n.wait();
+    }
+    net.quiesce();
+    let snap = net.telemetry().expect("telemetry enabled").snapshot();
+    let spans = Span::ALL
+        .iter()
+        .map(|&sp| {
+            let h = snap.span(sp);
+            vec![
+                sp.as_str().into(),
+                h.count().to_string(),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.90)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.max()),
+            ]
+        })
+        .collect();
+    let mut counts: Vec<Vec<String>> = EventKind::ALL
+        .iter()
+        .map(|&k| vec![k.as_str().into(), snap.count(k).to_string()])
+        .collect();
+    counts.push(vec![
+        "dropped (buffer full)".into(),
+        snap.dropped.to_string(),
+    ]);
+    (spans, counts)
 }
 
 fn main() {
@@ -134,4 +204,10 @@ fn main() {
 
     println!("\ndatapath counters (incast burst, ring cap 64):\n");
     print_table(&["counter", "value"], &datapath_counters());
+
+    let (spans, counts) = telemetry_histograms();
+    println!("\nput lifecycle latency histograms (telemetry-enabled incast burst):\n");
+    print_table(&["span", "count", "p50", "p90", "p99", "max"], &spans);
+    println!("\nlifecycle event counts:\n");
+    print_table(&["event", "count"], &counts);
 }

@@ -10,10 +10,16 @@
 //! Writes `results/loss_sweep.csv`. Run with `--quick` for a CI smoke
 //! (tiny op count, same CSV columns) — the CI `fault_recovery` job uses it
 //! to keep goodput-vs-loss data fresh without a long bench run.
+//!
+//! `--trace <prefix>` additionally re-runs the `drop_p = 0.05` point with
+//! op-level telemetry enabled and writes `<prefix>.trace.json` (Chrome
+//! `trace_event` format, load in `chrome://tracing` or Perfetto) and
+//! `<prefix>.snapshot.json` (the `rvma-telemetry-v1` histogram snapshot).
 
 use rvma_bench::{print_table, write_csv};
 use rvma_core::{
-    EndpointConfig, FaultModel, LossyNetwork, NodeAddr, RetryConfig, Threshold, VirtAddr,
+    EndpointConfig, FaultModel, LossyNetwork, NodeAddr, RetryConfig, TelemetrySnapshot, Threshold,
+    VirtAddr,
 };
 use std::time::Instant;
 
@@ -37,7 +43,7 @@ struct Sample {
     dropped: u64,
 }
 
-fn run_point(cfg: &Config, drop_p: f64) -> Sample {
+fn run_point(cfg: &Config, drop_p: f64, telemetry: bool) -> (Sample, Option<TelemetrySnapshot>) {
     let model = FaultModel {
         drop_p,
         dup_p: 0.02,
@@ -46,6 +52,7 @@ fn run_point(cfg: &Config, drop_p: f64) -> Sample {
     };
     let endpoint_config = EndpointConfig {
         dedup_window: 1 << 15,
+        telemetry,
         ..Default::default()
     };
     let net = LossyNetwork::with_config(cfg.mtu, model, SEED, endpoint_config);
@@ -88,15 +95,21 @@ fn run_point(cfg: &Config, drop_p: f64) -> Sample {
     let elapsed = start.elapsed();
 
     let bytes = (cfg.ops * cfg.msg_bytes) as f64;
-    Sample {
+    let sample = Sample {
         goodput_mbps: bytes / elapsed.as_secs_f64() / 1e6,
         retransmit_rate: (transmissions - fragments) as f64 / fragments as f64,
         dropped: net.dropped(),
-    }
+    };
+    (sample, net.telemetry().map(|t| t.snapshot()))
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_prefix = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
     let cfg = if quick {
         Config {
             ops: 200,
@@ -122,7 +135,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for drop_p in DROP_RATES {
-        let s = run_point(&cfg, drop_p);
+        let (s, _) = run_point(&cfg, drop_p, false);
         rows.push(vec![
             format!("{drop_p:.2}"),
             format!("{:.1}", s.goodput_mbps),
@@ -136,5 +149,27 @@ fn main() {
     match write_csv("loss_sweep", &headers, &rows) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+
+    if let Some(prefix) = trace_prefix {
+        // One telemetry-enabled pass at the sweep's headline loss rate;
+        // the recorder rides the same seeded run the CSV row came from.
+        let (_, snap) = run_point(&cfg, 0.05, true);
+        let snap = snap.expect("telemetry enabled for trace capture");
+        let trace_path = format!("{prefix}.trace.json");
+        let json_path = format!("{prefix}.snapshot.json");
+        if let Err(e) = std::fs::write(&trace_path, snap.to_chrome_trace()) {
+            eprintln!("trace write failed: {e}");
+            return;
+        }
+        if let Err(e) = std::fs::write(&json_path, snap.to_json()) {
+            eprintln!("snapshot write failed: {e}");
+            return;
+        }
+        println!(
+            "wrote {trace_path} ({} events, {} dropped) and {json_path}",
+            snap.events.len(),
+            snap.dropped
+        );
     }
 }

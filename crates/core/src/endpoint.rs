@@ -19,6 +19,7 @@ use crate::mailbox::{
 };
 use crate::retry::{FaultModel, DEFAULT_RETRY_BUDGET};
 use crate::ring::{RingStats, DEFAULT_WIRE_QUEUE_CAP};
+use crate::telemetry::Telemetry;
 use crate::window::Window;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -107,6 +108,12 @@ pub struct EndpointConfig {
     /// the mutex, unconditional broadcast on complete) — the completion
     /// half of the `put_latency --baseline` configuration.
     pub notify_baseline: bool,
+    /// Enable op-level telemetry ([`crate::telemetry`]): every datapath
+    /// layer stamps put-lifecycle events into a shared lock-free
+    /// recorder, drained via `Telemetry::snapshot`. Off by default; the
+    /// disabled datapath carries only a `None` option (one branch per
+    /// hook, no allocation, no atomics).
+    pub telemetry: bool,
 }
 
 /// Default idle spin budget of a wire worker (see
@@ -133,6 +140,7 @@ impl Default for EndpointConfig {
             wire_idle_spins: DEFAULT_WIRE_IDLE_SPINS,
             wire_idle_yields: DEFAULT_WIRE_IDLE_YIELDS,
             notify_baseline: false,
+            telemetry: false,
         }
     }
 }
@@ -297,6 +305,12 @@ pub struct RvmaEndpoint {
     /// [`StatsSnapshot`] so queue depth and backpressure are observable
     /// next to the delivery counters.
     wire: Mutex<Option<Arc<RingStats>>>,
+    /// Op-level event recorder, present iff [`EndpointConfig::telemetry`].
+    /// Windows and mailboxes created by this endpoint stamp lifecycle
+    /// events into it; a network attaches its shared recorder here so one
+    /// snapshot covers the whole fabric. Cold-path lock: only window
+    /// creation and attachment touch it.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 impl RvmaEndpoint {
@@ -307,12 +321,14 @@ impl RvmaEndpoint {
 
     /// Create an endpoint with explicit configuration.
     pub fn with_config(addr: NodeAddr, config: EndpointConfig) -> Arc<Self> {
+        let telemetry = config.telemetry.then(|| Arc::new(Telemetry::new()));
         Arc::new(RvmaEndpoint {
             addr,
             lut: Lut::new(config.lut_capacity),
             config,
             stats: EndpointStats::default(),
             wire: Mutex::new(None),
+            telemetry: Mutex::new(telemetry),
         })
     }
 
@@ -348,6 +364,19 @@ impl RvmaEndpoint {
         *self.wire.lock() = Some(stats);
     }
 
+    /// The endpoint's event recorder (`None` unless
+    /// [`EndpointConfig::telemetry`] is set).
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.lock().clone()
+    }
+
+    /// Replace the endpoint's recorder with a network-shared one, so every
+    /// endpoint of a fabric feeds a single snapshot. Called by the
+    /// transports at `add_endpoint` time, before any window exists.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
     /// Create a window: register a mailbox at `vaddr` in Receiver-Steered
     /// mode (paper: `RVMA_Init_window`). The threshold applies to every
     /// buffer subsequently posted through the window unless overridden.
@@ -373,6 +402,9 @@ impl RvmaEndpoint {
             self.config.dedup_window,
         );
         mb.count_completions_in(self.stats.epochs_completed.clone());
+        if let Some(t) = self.telemetry() {
+            mb.trace_into(t);
+        }
         let mailbox = Arc::new(Mutex::new(mb));
         self.lut.insert(vaddr, mailbox.clone())?;
         Ok(Window::new(self.clone(), mailbox, vaddr, threshold))

@@ -64,6 +64,7 @@ pub mod notify;
 pub mod pool;
 pub mod retry;
 pub mod ring;
+pub mod telemetry;
 pub mod transport;
 pub mod transport_lossy;
 pub mod transport_threaded;
@@ -87,6 +88,7 @@ pub use retry::{
     DEFAULT_DEDUP_WINDOW, DEFAULT_RETRY_BUDGET,
 };
 pub use ring::{PushError, RingQueue, RingStats, RingStatsSnapshot, DEFAULT_WIRE_QUEUE_CAP};
+pub use telemetry::{Event, EventKind, Histogram, Span, Telemetry, TelemetrySnapshot};
 pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
 pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork, TransmitOutcome};
 pub use transport_threaded::{

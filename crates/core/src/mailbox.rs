@@ -42,6 +42,7 @@ use crate::addr::VirtAddr;
 use crate::buffer::{CompletedBuffer, EpochType, PostedBuffer};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::retry::DedupWindow;
+use crate::telemetry::{self, EventKind, Telemetry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -201,6 +202,10 @@ pub struct Mailbox {
     /// always observes the epoch already counted. `None` for standalone
     /// mailboxes (tests).
     completions: Option<Arc<AtomicU64>>,
+    /// Op-level event recorder: `complete_active` stamps
+    /// `EpochComplete` just before the completing write. `None` unless
+    /// the owning endpoint enabled telemetry.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Mailbox {
@@ -234,6 +239,7 @@ impl Mailbox {
             draining: None,
             dedup: (dedup_window > 0).then(|| DedupWindow::new(dedup_window)),
             completions: None,
+            telemetry: None,
         }
     }
 
@@ -243,6 +249,12 @@ impl Mailbox {
     /// wakes — `wait()` returning implies the counter includes this epoch.
     pub(crate) fn count_completions_in(&mut self, counter: Arc<AtomicU64>) {
         self.completions = Some(counter);
+    }
+
+    /// Stamp this mailbox's epoch completions into `telemetry` (the
+    /// endpoint's shared recorder).
+    pub(crate) fn trace_into(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The mailbox's virtual address.
@@ -656,6 +668,13 @@ impl Mailbox {
         if let Some(counter) = &self.completions {
             counter.fetch_add(1, Ordering::Relaxed);
         }
+        telemetry::record(
+            &self.telemetry,
+            EventKind::EpochComplete,
+            self.vaddr.raw(),
+            epoch,
+            valid as u64,
+        );
 
         // The completing write to the completion pointer.
         buf.notify.complete(completed);

@@ -39,6 +39,7 @@
 //! `notify_all`, waiters unchanged.
 
 use crate::buffer::CompletedBuffer;
+use crate::telemetry::{self, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
@@ -313,6 +314,10 @@ fn any_event() -> &'static EventCount {
 pub struct Notification {
     slot: Arc<NotificationSlot>,
     consumed: bool,
+    /// Op-level event recorder: the consuming take stamps
+    /// `NotifyHandoff`. `None` unless the owning endpoint enabled
+    /// telemetry (set by `Window::post_buffer_with`).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Notification {
@@ -320,7 +325,28 @@ impl Notification {
         Notification {
             slot,
             consumed: false,
+            telemetry: None,
         }
+    }
+
+    /// Stamp this notification's consuming take into `telemetry`.
+    pub(crate) fn trace_into(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The consuming take: flip `consumed`, take the payload, stamp the
+    /// handoff. Every `poll`/`wait`/`wait_timeout` success funnels here.
+    fn take(&mut self) -> CompletedBuffer {
+        self.consumed = true;
+        let buf = self.slot.take_payload();
+        telemetry::record(
+            &self.telemetry,
+            EventKind::NotifyHandoff,
+            buf.vaddr().raw(),
+            buf.epoch(),
+            buf.len() as u64,
+        );
+        buf
     }
 
     /// Non-blocking check of the completion pointer (the polling idiom).
@@ -329,8 +355,7 @@ impl Notification {
         if self.consumed || !self.slot.is_complete() {
             return None;
         }
-        self.consumed = true;
-        Some(self.slot.take_payload())
+        Some(self.take())
     }
 
     /// True if the completion fired, without consuming it. This is the raw
@@ -351,15 +376,13 @@ impl Notification {
         // Fast path: spin on the state word.
         for spins in 0..SPIN_LIMIT {
             if self.slot.is_complete() {
-                self.consumed = true;
-                return self.slot.take_payload();
+                return self.take();
             }
             self.slot.spin_step(spins);
         }
         // Slow path: register and park.
         self.slot.park_until(None);
-        self.consumed = true;
-        self.slot.take_payload()
+        self.take()
     }
 
     /// Like [`wait`](Notification::wait) but gives up after `timeout`,
@@ -369,14 +392,12 @@ impl Notification {
         let deadline = Instant::now() + timeout;
         for spins in 0..SPIN_LIMIT {
             if self.slot.is_complete() {
-                self.consumed = true;
-                return Some(self.slot.take_payload());
+                return Some(self.take());
             }
             self.slot.spin_step(spins);
         }
         if self.slot.park_until(Some(deadline)) {
-            self.consumed = true;
-            Some(self.slot.take_payload())
+            Some(self.take())
         } else {
             None
         }

@@ -44,6 +44,7 @@ use crate::addr::{NodeAddr, VirtAddr};
 use crate::endpoint::{DeliverResult, Fragment};
 use crate::error::{Result, RvmaError};
 use crate::mailbox::OpKey;
+use crate::telemetry::{self, EventKind};
 use crate::transport_lossy::{LossyNetwork, TransmitOutcome};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -470,6 +471,15 @@ impl ReliableInitiator {
             return Err(RvmaError::UnknownDestination);
         }
         let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let telemetry = self.net.telemetry();
+        let src_key = telemetry::initiator_key(self.src.nid, self.src.pid);
+        telemetry::record(
+            &telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            data.len() as u64,
+        );
         let payload = Bytes::copy_from_slice(data);
         let total = payload.len() as u64;
         let mtu = self.net.mtu();
@@ -499,6 +509,16 @@ impl ReliableInitiator {
                     data: payload.slice(s..e),
                 };
                 transmissions += 1;
+                if rounds > 0 {
+                    // Every transmission of a fragment beyond its first.
+                    telemetry::record(
+                        &telemetry,
+                        EventKind::Retransmit,
+                        src_key,
+                        op_id,
+                        rounds as u64,
+                    );
+                }
                 match self.net.transmit(dest, frag) {
                     TransmitOutcome::Delivered(first, second) => {
                         for r in std::iter::once(first).chain(second) {

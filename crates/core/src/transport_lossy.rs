@@ -38,6 +38,7 @@ use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
 pub use crate::retry::FaultModel;
 use crate::retry::{FaultDecision, FaultInjector, FaultStats, ReliableInitiator, RetryConfig};
+use crate::telemetry::{self, EventKind, Telemetry};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -85,6 +86,11 @@ pub struct LossyNetwork {
     crashed: RwLock<HashSet<NodeAddr>>,
     stats: Arc<FaultStats>,
     endpoint_config: EndpointConfig,
+    /// Fabric-wide event recorder, present iff
+    /// `endpoint_config.telemetry`: every endpoint this network creates
+    /// (and every initiator bound to it) stamps into this one instance,
+    /// so a single snapshot covers the whole put lifecycle.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl LossyNetwork {
@@ -111,6 +117,9 @@ impl LossyNetwork {
     ) -> Arc<Self> {
         assert!(mtu > 0, "MTU must be positive");
         let stats = Arc::new(FaultStats::default());
+        let telemetry = endpoint_config
+            .telemetry
+            .then(|| Arc::new(Telemetry::new()));
         Arc::new(LossyNetwork {
             endpoints: RwLock::new(HashMap::new()),
             mtu,
@@ -120,6 +129,7 @@ impl LossyNetwork {
             crashed: RwLock::new(HashSet::new()),
             stats,
             endpoint_config,
+            telemetry,
         })
     }
 
@@ -127,8 +137,17 @@ impl LossyNetwork {
     /// [`EndpointConfig`]).
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
         let ep = RvmaEndpoint::with_config(addr, self.endpoint_config.clone());
+        if let Some(t) = &self.telemetry {
+            ep.attach_telemetry(t.clone());
+        }
         self.endpoints.write().insert(addr, ep.clone());
         ep
+    }
+
+    /// The fabric's shared event recorder (`None` unless the network was
+    /// built with `endpoint_config.telemetry`).
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.clone()
     }
 
     /// True when `addr` has an attached endpoint (crashed or not).
@@ -272,6 +291,13 @@ impl LossyNetwork {
     }
 
     fn deliver_to(&self, dest: NodeAddr, frag: &Fragment) -> DeliverResult {
+        telemetry::record(
+            &self.telemetry,
+            EventKind::WireDeliver,
+            telemetry::initiator_key(frag.initiator.nid, frag.initiator.pid),
+            frag.op_id,
+            frag.offset as u64,
+        );
         match self.endpoints.read().get(&dest).cloned() {
             Some(ep) => ep.deliver(frag),
             None => DeliverResult::Nack(NackReason::NoSuchMailbox),

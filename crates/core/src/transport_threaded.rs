@@ -127,6 +127,7 @@ use crate::error::{NackReason, Result, RvmaError};
 use crate::pool::{PayloadPool, PoolStats};
 use crate::retry::{FaultInjector, FaultModel, FaultStats};
 use crate::ring::{PushError, RingQueue, RingStats, RingStatsSnapshot};
+use crate::telemetry::{self, EventKind, Telemetry};
 use crate::transport::{DeliveryOrder, DEFAULT_MTU};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -214,6 +215,10 @@ struct Shared {
     /// [`AsyncNetwork::add_endpoint`] (dedup window, fault model, …).
     endpoint_config: EndpointConfig,
     faults: Option<FaultPlan>,
+    /// Network-wide telemetry recorder (present when
+    /// [`EndpointConfig::telemetry`] is set); attached to every endpoint
+    /// the network creates or registers.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Shared {
@@ -380,6 +385,13 @@ fn deliver_one(
     nacks: &NackSink,
     copies: u32,
 ) {
+    telemetry::record(
+        &shared.telemetry,
+        EventKind::WireDeliver,
+        telemetry::initiator_key(frag.initiator.nid, frag.initiator.pid),
+        frag.op_id,
+        frag.offset as u64,
+    );
     match cache.get(shared, dest) {
         Some(ep) => {
             for _ in 0..copies {
@@ -405,6 +417,17 @@ fn deliver_many(
     scratch_nacks: &mut Vec<(VirtAddr, NackReason)>,
 ) -> u64 {
     let mut delivered = 0u64;
+    if shared.telemetry.is_some() {
+        for f in frags {
+            telemetry::record(
+                &shared.telemetry,
+                EventKind::WireDeliver,
+                telemetry::initiator_key(f.initiator.nid, f.initiator.pid),
+                f.op_id,
+                f.offset as u64,
+            );
+        }
+    }
     match cache.get(shared, dest) {
         Some(ep) => {
             ep.deliver_batch(frags, &mut |vaddr, reason| {
@@ -595,6 +618,13 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                             // simply one that re-arrives behind the queue's
                             // younger traffic.
                             plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                            telemetry::record(
+                                &shared.telemetry,
+                                EventKind::Retransmit,
+                                telemetry::initiator_key(frag.initiator.nid, frag.initiator.pid),
+                                frag.op_id,
+                                (attempt + 1) as u64,
+                            );
                             enqueue_retry(
                                 &ring,
                                 &mut deferred,
@@ -638,6 +668,16 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                             }
                             if d.drop || d.defer_spans > 0 {
                                 plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                                telemetry::record(
+                                    &shared.telemetry,
+                                    EventKind::Retransmit,
+                                    telemetry::initiator_key(
+                                        frag.initiator.nid,
+                                        frag.initiator.pid,
+                                    ),
+                                    frag.op_id,
+                                    1,
+                                );
                                 enqueue_retry(
                                     &ring,
                                     &mut deferred,
@@ -745,6 +785,9 @@ impl AsyncNetwork {
             stats: Arc::new(FaultStats::default()),
             pending_retries: AtomicU64::new(0),
         });
+        let telemetry = endpoint_config
+            .telemetry
+            .then(|| Arc::new(Telemetry::new()));
         let shared = Arc::new(Shared {
             endpoints: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(1),
@@ -755,6 +798,7 @@ impl AsyncNetwork {
             ring_stats,
             endpoint_config,
             faults,
+            telemetry,
         });
         let workers = (0..shared.queues.len())
             .map(|i| {
@@ -786,6 +830,9 @@ impl AsyncNetwork {
     pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
         let ep = RvmaEndpoint::with_config(addr, self.shared.endpoint_config.clone());
         ep.attach_wire_stats(self.shared.ring_stats.clone());
+        if let Some(t) = &self.shared.telemetry {
+            ep.attach_telemetry(t.clone());
+        }
         self.shared.endpoints.write().insert(addr, ep.clone());
         self.shared.generation.fetch_add(1, Ordering::Release);
         ep
@@ -794,6 +841,9 @@ impl AsyncNetwork {
     /// Attach an existing endpoint.
     pub fn register(&self, endpoint: Arc<RvmaEndpoint>) {
         endpoint.attach_wire_stats(self.shared.ring_stats.clone());
+        if let Some(t) = &self.shared.telemetry {
+            endpoint.attach_telemetry(t.clone());
+        }
         self.shared
             .endpoints
             .write()
@@ -855,6 +905,13 @@ impl AsyncNetwork {
     /// The network-wide fault counters, when fault injection is active.
     pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
         self.shared.faults.as_ref().map(|p| p.stats.clone())
+    }
+
+    /// The network-wide telemetry recorder, when
+    /// [`EndpointConfig::telemetry`] is enabled. Drain it with
+    /// [`Telemetry::snapshot`] after a [`quiesce`](AsyncNetwork::quiesce).
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.shared.telemetry.clone()
     }
 
     /// Point-in-time wire-queue counters (high-water ring depth,
@@ -960,6 +1017,14 @@ impl AsyncInitiator {
         let queue_idx = self.resolve_route(dest, vaddr)?;
         let queue = &self.shared.queues[queue_idx];
         let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(self.src.nid, self.src.pid);
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            data.len() as u64,
+        );
         let mtu = self.shared.mtu;
         // One `nacks` Arc clone per submission (it used to be one per
         // fragment): the Arc travels with the message because the wire
@@ -977,14 +1042,22 @@ impl AsyncInitiator {
                 offset,
                 data: self.pool.acquire(data),
             };
-            return queue
+            queue
                 .push(WireMsg::Deliver {
                     dest,
                     frag,
                     nacks: self.nacks.clone(),
                     attempt: 0,
                 })
-                .map_err(|_| RvmaError::UnknownDestination);
+                .map_err(|_| RvmaError::UnknownDestination)?;
+            telemetry::record(
+                &self.shared.telemetry,
+                EventKind::RingEnqueue,
+                src_key,
+                op_id,
+                queue_idx as u64,
+            );
+            return Ok(());
         }
         let frags = self.fragment(vaddr, op_id, offset, data);
         queue
@@ -993,7 +1066,15 @@ impl AsyncInitiator {
                 frags,
                 nacks: self.nacks.clone(),
             })
-            .map_err(|_| RvmaError::UnknownDestination)
+            .map_err(|_| RvmaError::UnknownDestination)?;
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::RingEnqueue,
+            src_key,
+            op_id,
+            queue_idx as u64,
+        );
+        Ok(())
     }
 
     /// Split a multi-MTU payload into fragments (pooled copy, zero-copy
@@ -1037,6 +1118,14 @@ impl AsyncInitiator {
             return Err(RvmaError::UnknownDestination);
         }
         let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(self.src.nid, self.src.pid);
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            data.len() as u64,
+        );
         let payload = Bytes::copy_from_slice(data);
         let total = payload.len() as u64;
         let mtu = self.shared.mtu;
@@ -1069,7 +1158,8 @@ impl AsyncInitiator {
         if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
             frags.shuffle(&mut *self.shared.rng.lock());
         }
-        let queue = &self.shared.queues[self.shared.queue_index(dest, vaddr)];
+        let queue_idx = self.shared.queue_index(dest, vaddr);
+        let queue = &self.shared.queues[queue_idx];
         for frag in frags {
             queue
                 .push(WireMsg::Deliver {
@@ -1080,6 +1170,13 @@ impl AsyncInitiator {
                 })
                 .map_err(|_| RvmaError::UnknownDestination)?;
         }
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::RingEnqueue,
+            src_key,
+            op_id,
+            queue_idx as u64,
+        );
         Ok(())
     }
 
@@ -1180,6 +1277,13 @@ impl PutBatch<'_> {
             }
         };
         let op_id = self.init.next_op.fetch_add(1, Ordering::Relaxed);
+        telemetry::record(
+            &self.init.shared.telemetry,
+            EventKind::Submit,
+            telemetry::initiator_key(self.init.src.nid, self.init.src.pid),
+            op_id,
+            data.len() as u64,
+        );
         let group = &mut self.groups[group_idx].2;
         if data.len() <= self.init.shared.mtu {
             group.push(Fragment {
@@ -1221,6 +1325,25 @@ impl PutBatch<'_> {
             // doorbell threshold, and regrowing from empty would pay
             // several reallocations per batch.
             let batch = std::mem::replace(frags, Vec::with_capacity(doorbell));
+            // One RingEnqueue per op: a multi-fragment op's fragments sit
+            // contiguously in the group, so deduping consecutive op ids
+            // yields exactly one event per put crossing the ring.
+            if self.init.shared.telemetry.is_some() {
+                let mut last = None;
+                for f in &batch {
+                    let key = telemetry::initiator_key(f.initiator.nid, f.initiator.pid);
+                    if last != Some((key, f.op_id)) {
+                        telemetry::record(
+                            &self.init.shared.telemetry,
+                            EventKind::RingEnqueue,
+                            key,
+                            f.op_id,
+                            *queue_idx as u64,
+                        );
+                        last = Some((key, f.op_id));
+                    }
+                }
+            }
             let sent = self.init.shared.queues[*queue_idx].push(WireMsg::DeliverBatch {
                 dest: *dest,
                 frags: batch,

@@ -13,6 +13,7 @@ use crate::error::Result;
 use crate::mailbox::{EpochProgress, Mailbox};
 use crate::notify::{Notification, NotificationSlot};
 use crate::pool::{BufferPool, PoolStats};
+use crate::telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,6 +57,10 @@ pub struct Window {
     threshold: Threshold,
     /// Recycles epoch-buffer allocations for [`Window::post_pooled`].
     pool: Arc<BufferPool>,
+    /// The endpoint's event recorder, cached at creation so the post path
+    /// never touches the endpoint's cold-path lock. `None` unless
+    /// telemetry is enabled.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Window {
@@ -65,12 +70,14 @@ impl Window {
         vaddr: VirtAddr,
         threshold: Threshold,
     ) -> Self {
+        let telemetry = endpoint.telemetry();
         Window {
             endpoint,
             mailbox,
             vaddr,
             threshold,
             pool: Arc::new(BufferPool::new()),
+            telemetry,
         }
     }
 
@@ -102,7 +109,16 @@ impl Window {
         self.mailbox
             .lock()
             .post(PostedBuffer::new(buf, threshold, slot.clone()))?;
-        Ok(Notification::new(slot))
+        Ok(self.notification(slot))
+    }
+
+    /// Wrap a slot in a notification, armed with the window's recorder.
+    fn notification(&self, slot: Arc<NotificationSlot>) -> Notification {
+        let mut n = Notification::new(slot);
+        if let Some(t) = &self.telemetry {
+            n.trace_into(t.clone());
+        }
+        n
     }
 
     /// Post a zeroed `len`-byte buffer drawn from the window's buffer pool
@@ -126,7 +142,7 @@ impl Window {
             slot.clone(),
             self.pool.clone(),
         ))?;
-        Ok(Notification::new(slot))
+        Ok(self.notification(slot))
     }
 
     /// Hit/miss/occupancy counters of the window's buffer pool.

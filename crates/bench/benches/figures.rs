@@ -39,6 +39,7 @@ fn small_sweep_cfg() -> SweepConfig {
         only_family: Some(TopologyFamily::Dragonfly),
         only_routing: Some(RoutingKind::Adaptive),
         speeds: vec![400],
+        threads: 1,
     }
 }
 

@@ -1,12 +1,13 @@
 //! The topology × routing × link-speed × protocol sweep behind Figs. 7–8.
 
-use rvma_motifs::{run_motif, IdleNode, MotifResult};
+use rvma_motifs::{run_motif, run_motif_par, IdleNode, MotifResult};
 use rvma_net::fabric::{FabricConfig, TopologySpec};
 use rvma_net::router::RoutingKind;
 use rvma_net::topology::{
     dragonfly, fattree, hyperx, torus3d, DragonflyParams, FatTreeParams, HyperXParams, TorusParams,
 };
 use rvma_nic::{HostLogic, NicConfig, Protocol};
+use rvma_sim::{SimConfig, SimTime};
 
 /// Link speeds of the paper's sweep: three contemporary rates plus the
 /// future 2 Tbps point where the 4.4× headline lives.
@@ -165,6 +166,11 @@ pub struct SweepConfig {
     pub only_routing: Option<RoutingKind>,
     /// Link speeds to sweep.
     pub speeds: Vec<u64>,
+    /// Worker threads: 1 = the sequential reference engine, >1 = the
+    /// sharded parallel engine (same results at any thread count, but the
+    /// two engines draw rng differently, so absolute makespans may differ
+    /// slightly between `1` and `>1`).
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -175,6 +181,7 @@ impl Default for SweepConfig {
             only_family: None,
             only_routing: None,
             speeds: LINK_SPEEDS_GBPS.to_vec(),
+            threads: 1,
         }
     }
 }
@@ -183,6 +190,7 @@ impl SweepConfig {
     /// Parse figure-binary CLI flags: `--nodes N`, `--seed S`,
     /// `--family fat-tree|torus|dragonfly|hyperx`,
     /// `--routing static|adaptive`, `--speeds 100,400,2000`,
+    /// `--threads T` (parallel engine when > 1),
     /// `--full-scale` (= the paper's 8,192 nodes).
     ///
     /// # Panics
@@ -220,9 +228,10 @@ impl SweepConfig {
                         .map(|s| s.parse().expect("--speeds: Gbps list"))
                         .collect()
                 }
+                "--threads" => cfg.threads = val("--threads").parse().expect("--threads: usize"),
                 "--full-scale" => cfg.nodes = 8192,
                 other => panic!(
-                    "unknown flag {other}; flags: --nodes --seed --family --routing --speeds --full-scale"
+                    "unknown flag {other}; flags: --nodes --seed --family --routing --speeds --threads --full-scale"
                 ),
             }
         }
@@ -252,13 +261,21 @@ pub fn motif_matrix(
                 let fcfg = FabricConfig::at_gbps(gbps);
                 let active = cfg.nodes;
                 let run = |proto| {
-                    run_motif(&spec, &fcfg, ncfg, proto, cfg.seed, |n| {
+                    let logic = |n| {
                         if n < active {
                             make_logic(n)
                         } else {
-                            Box::new(IdleNode)
+                            Box::new(IdleNode) as Box<dyn HostLogic>
                         }
-                    })
+                    };
+                    if cfg.threads > 1 {
+                        // Window is clamped to the fabric lookahead inside
+                        // run_motif_par; MAX just means "as wide as legal".
+                        let sim = SimConfig::new(cfg.threads, SimTime::MAX);
+                        run_motif_par(&spec, &fcfg, ncfg, proto, cfg.seed, sim, logic)
+                    } else {
+                        run_motif(&spec, &fcfg, ncfg, proto, cfg.seed, logic)
+                    }
                 };
                 let rdma = run(Protocol::Rdma);
                 let rvma = run(Protocol::Rvma);
@@ -362,6 +379,12 @@ mod cli_tests {
     #[test]
     fn full_scale_flag() {
         assert_eq!(parse(&["--full-scale"]).nodes, 8192);
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse(&[]).threads, 1);
+        assert_eq!(parse(&["--threads", "8"]).threads, 8);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Motif execution harness: assemble a cluster, run, and summarize.
 
-use rvma_net::fabric::{FabricConfig, TopologySpec};
+use rvma_net::fabric::{partition_fabric, FabricConfig, TopologySpec};
 use rvma_net::packet::NetEvent;
 use rvma_nic::{build_cluster, HostLogic, NicConfig, Protocol};
-use rvma_sim::{Engine, SimTime};
+use rvma_sim::{Engine, ParEngine, SimConfig, SimTime, StatsRegistry};
 
 /// Histogram name motif nodes record their finish time into.
 pub const MOTIF_DONE_HIST: &str = "motif.node_done_ns";
@@ -43,6 +43,43 @@ impl MotifResult {
     }
 }
 
+/// Distill a finished run's stats into a [`MotifResult`]. Panics if any
+/// node failed to finish (deadlock in the motif or protocol model).
+fn summarize(
+    stats: &StatsRegistry,
+    quiesce: SimTime,
+    events: u64,
+    nodes: u64,
+    spec: &TopologySpec,
+    protocol: Protocol,
+) -> MotifResult {
+    let nodes_done = stats.counter_value("motif.nodes_done");
+    assert_eq!(
+        nodes_done, nodes,
+        "{} of {} nodes finished — motif deadlocked on {} / {}",
+        nodes_done, nodes, spec.name, protocol
+    );
+    let makespan = stats
+        .get_histogram(MOTIF_DONE_HIST)
+        .and_then(|h| h.max())
+        .map(SimTime::from_ns_f64)
+        .unwrap_or(SimTime::ZERO);
+
+    MotifResult {
+        topology: spec.name.clone(),
+        protocol,
+        makespan,
+        quiesce,
+        nodes_done,
+        msgs_sent: stats.counter_value("nic.msgs_sent"),
+        packets: stats.counter_value("nic.packets_injected"),
+        handshakes: stats.counter_value("nic.handshakes"),
+        fences: stats.counter_value("nic.fences_sent"),
+        rtrs: stats.counter_value("nic.rtrs_sent"),
+        events,
+    }
+}
+
 /// Run a motif on `spec` with per-node behaviour from `logic`, and collect
 /// the summary. Panics if any node fails to finish (deadlock in the motif
 /// or protocol model).
@@ -58,33 +95,51 @@ pub fn run_motif(
     let cluster = build_cluster(&mut engine, spec, fcfg, ncfg, protocol, logic);
     let nodes = cluster.nodes() as u64;
     let events = engine.run_to_completion();
+    summarize(engine.stats(), engine.now(), events, nodes, spec, protocol)
+}
 
-    let nodes_done = engine.stats().counter_value("motif.nodes_done");
-    assert_eq!(
-        nodes_done, nodes,
-        "{} of {} nodes finished — motif deadlocked on {} / {}",
-        nodes_done, nodes, spec.name, protocol
-    );
-    let makespan = engine
-        .stats()
-        .get_histogram(MOTIF_DONE_HIST)
-        .and_then(|h| h.max())
-        .map(SimTime::from_ns_f64)
-        .unwrap_or(SimTime::ZERO);
+/// Assemble a motif cluster inside a [`ParEngine`]: window clamped to the
+/// fabric's lookahead, components partitioned topology-aware so terminals
+/// co-locate with their switch ([`partition_fabric`]). The returned engine
+/// is frozen-ready but not yet run; callers that want raw stats or traces
+/// (e.g. parity tests) run it themselves.
+pub fn build_motif_engine(
+    spec: &TopologySpec,
+    fcfg: &FabricConfig,
+    ncfg: NicConfig,
+    protocol: Protocol,
+    seed: u64,
+    sim: SimConfig,
+    logic: impl FnMut(u32) -> Box<dyn HostLogic>,
+) -> (ParEngine<NetEvent>, u64) {
+    let mut cfg = sim;
+    // The window must not exceed the minimum cross-shard latency or
+    // cross-shard sends would land inside the current window.
+    cfg.window = cfg.window.min(fcfg.lookahead());
+    let mut engine: ParEngine<NetEvent> = ParEngine::new(seed, cfg);
+    engine.set_partition(partition_fabric(spec, cfg.shards));
+    let cluster = build_cluster(&mut engine, spec, fcfg, ncfg, protocol, logic);
+    let nodes = cluster.nodes() as u64;
+    (engine, nodes)
+}
 
-    MotifResult {
-        topology: spec.name.clone(),
-        protocol,
-        makespan,
-        quiesce: engine.now(),
-        nodes_done,
-        msgs_sent: engine.stats().counter_value("nic.msgs_sent"),
-        packets: engine.stats().counter_value("nic.packets_injected"),
-        handshakes: engine.stats().counter_value("nic.handshakes"),
-        fences: engine.stats().counter_value("nic.fences_sent"),
-        rtrs: engine.stats().counter_value("nic.rtrs_sent"),
-        events,
-    }
+/// Parallel counterpart of [`run_motif`]: same summary, executed on the
+/// sharded conservative-window [`ParEngine`]. Results are bit-identical
+/// across `sim.threads` values (for a fixed `sim.shards`), but differ from
+/// [`run_motif`] in RNG draws — the parallel engine forks one RNG stream
+/// per shard, the sequential engine uses a single stream.
+pub fn run_motif_par(
+    spec: &TopologySpec,
+    fcfg: &FabricConfig,
+    ncfg: NicConfig,
+    protocol: Protocol,
+    seed: u64,
+    sim: SimConfig,
+    logic: impl FnMut(u32) -> Box<dyn HostLogic>,
+) -> MotifResult {
+    let (mut engine, nodes) = build_motif_engine(spec, fcfg, ncfg, protocol, seed, sim, logic);
+    let events = engine.run_to_completion();
+    summarize(engine.stats(), engine.now(), events, nodes, spec, protocol)
 }
 
 /// A node that participates in no communication: it reports completion at

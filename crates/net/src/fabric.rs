@@ -10,7 +10,7 @@ use crate::link::LinkParams;
 use crate::packet::NetEvent;
 use crate::router::Router;
 use crate::switch::{OutPort, Switch};
-use rvma_sim::{Bandwidth, ComponentId, Engine, SimTime};
+use rvma_sim::{Bandwidth, ComponentId, SimBuilder, SimTime};
 use std::sync::Arc;
 
 /// Pure description of a topology instance: wiring + routing.
@@ -110,6 +110,15 @@ impl FabricConfig {
     pub fn xbar_bandwidth(&self) -> Bandwidth {
         self.link_bandwidth.scale(3, 2)
     }
+
+    /// The fabric's *lookahead*: the minimum latency of any cross-component
+    /// event. Every packet hop (terminal→switch, switch→switch,
+    /// switch→terminal) pays at least one link propagation delay, and all
+    /// other NIC/host events are self-scheduled, so the parallel engine's
+    /// conservative window (`SimConfig::window`) may be as wide as this.
+    pub fn lookahead(&self) -> SimTime {
+        self.link_latency
+    }
 }
 
 /// Handle to an assembled fabric.
@@ -131,26 +140,28 @@ pub struct Fabric {
 
 impl Fabric {
     /// Panic unless the caller added the promised terminal components.
-    pub fn assert_terminals_added(&self, engine: &Engine<NetEvent>) {
+    pub fn assert_terminals_added(&self, engine: &impl SimBuilder<NetEvent>) {
         let last = self.terminal_cids.last().map(|c| c.as_usize()).unwrap_or(0);
         assert!(
-            engine.component_count() > last,
+            engine.registered() > last,
             "terminal components were not added after build_fabric"
         );
     }
 }
 
-/// Instantiate the fabric's switches in `engine`.
+/// Instantiate the fabric's switches in `engine` — either the sequential
+/// [`rvma_sim::Engine`] or the parallel [`rvma_sim::ParEngine`], via
+/// [`SimBuilder`].
 ///
 /// # Panics
 /// Panics if the spec fails validation.
-pub fn build_fabric(
-    engine: &mut Engine<NetEvent>,
+pub fn build_fabric<B: SimBuilder<NetEvent>>(
+    engine: &mut B,
     spec: &TopologySpec,
     cfg: &FabricConfig,
 ) -> Fabric {
     spec.validate().expect("invalid topology spec");
-    let base = engine.component_count();
+    let base = engine.registered();
     let switch_cids: Vec<ComponentId> = (0..spec.switches as usize)
         .map(|i| ComponentId::from_raw(base + i))
         .collect();
@@ -184,7 +195,7 @@ pub fn build_fabric(
                 next_free: SimTime::ZERO,
             });
         }
-        let cid = engine.add_component(Switch::new(
+        let cid = engine.register_component(Switch::new(
             s as u32,
             tb,
             tc,
@@ -205,13 +216,36 @@ pub fn build_fabric(
     }
 }
 
+/// Topology-aware component→shard map for the parallel engine, assuming the
+/// fabric occupies component ids `0..switches + terminals` (switches first,
+/// then terminals — the layout `build_fabric` produces in a fresh engine).
+///
+/// Switches split into `shards` contiguous blocks — topology modules number
+/// neighbors contiguously (torus x-major order, fat-tree pods, dragonfly
+/// groups), so block-contiguous assignment co-locates most inter-switch
+/// links. Each terminal lands in its attached switch's shard, keeping the
+/// injection path and the NIC's self-events shard-local.
+pub fn partition_fabric(spec: &TopologySpec, shards: usize) -> Vec<usize> {
+    let shards = shards.max(1).min(spec.switches.max(1) as usize);
+    let nsw = spec.switches.max(1) as usize;
+    let switch_shard = |s: usize| s * shards / nsw;
+    let mut map = Vec::with_capacity((spec.switches + spec.terminals) as usize);
+    for s in 0..spec.switches as usize {
+        map.push(switch_shard(s));
+    }
+    for t in 0..spec.terminals {
+        map.push(switch_shard(spec.terminal_switch(t) as usize));
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::Packet;
     use crate::router::Router;
     use crate::switch::PortView;
-    use rvma_sim::SimRng;
+    use rvma_sim::{Engine, SimRng};
 
     struct Dummy;
     impl Router for Dummy {
@@ -287,5 +321,37 @@ mod tests {
     fn xbar_is_fifty_percent_faster() {
         let cfg = FabricConfig::at_gbps(400);
         assert_eq!(cfg.xbar_bandwidth(), Bandwidth::from_gbps(600));
+    }
+
+    #[test]
+    fn lookahead_is_link_latency() {
+        let cfg = FabricConfig::at_gbps(100);
+        assert_eq!(cfg.lookahead(), SimTime::from_ns(100));
+    }
+
+    #[test]
+    fn partition_colocates_terminals_with_switches() {
+        let spec = two_switch_spec();
+        let map = partition_fabric(&spec, 2);
+        // Layout: switches 0..2, then terminals 2..6.
+        assert_eq!(map.len(), 6);
+        assert_eq!(&map[..2], &[0, 1]);
+        for t in 0..4u32 {
+            let sw = spec.terminal_switch(t) as usize;
+            assert_eq!(map[2 + t as usize], map[sw]);
+        }
+        // More shards than switches clamps; every entry stays in range.
+        let wide = partition_fabric(&spec, 16);
+        assert!(wide.iter().all(|&s| s < 2));
+    }
+
+    #[test]
+    fn build_into_parallel_engine() {
+        use rvma_sim::{ParEngine, SimConfig};
+        let mut eng: ParEngine<NetEvent> = ParEngine::new(0, SimConfig::default());
+        let spec = two_switch_spec();
+        let fabric = build_fabric(&mut eng, &spec, &FabricConfig::at_gbps(100));
+        assert_eq!(eng.component_count(), 2);
+        assert_eq!(fabric.terminal_cids.len(), 4);
     }
 }

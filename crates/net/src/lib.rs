@@ -39,7 +39,7 @@ pub mod summary;
 pub mod switch;
 pub mod topology;
 
-pub use fabric::{build_fabric, Fabric, FabricConfig, TopologySpec};
+pub use fabric::{build_fabric, partition_fabric, Fabric, FabricConfig, TopologySpec};
 pub use link::LinkParams;
 pub use packet::{NetEvent, Packet, PacketHeader, PacketKind, RouteState, HEADER_BYTES};
 pub use router::{Router, RoutingKind};

@@ -12,6 +12,7 @@ use crate::rng::SimRng;
 use crate::stats::StatsRegistry;
 use crate::time::SimTime;
 use crate::trace::{TraceEntry, TraceRing};
+use std::any::Any;
 use std::fmt;
 
 /// Index of a component registered with an [`Engine`].
@@ -41,19 +42,67 @@ impl fmt::Debug for ComponentId {
 pub trait Component<E> {
     /// Deliver `ev` to the component at the current simulated instant.
     fn handle(&mut self, ev: E, ctx: &mut Ctx<'_, E>);
+
+    /// Downcast support: return `self` as [`Any`] to let harness code read
+    /// results back after a run (see [`Engine::component_as`]). The default
+    /// opts out; concrete components override with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
+
+    /// Mutable counterpart of [`Component::as_any`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
+    }
+}
+
+/// Destination for events emitted while handling an event.
+///
+/// The sequential [`Engine`] plugs its own [`EventQueue`] in here; the
+/// parallel engine plugs in a per-shard sink that routes local events to the
+/// shard's queue and cross-shard events into ring mailboxes. Components only
+/// ever see [`Ctx`], so the same model code runs on both engines.
+pub trait EventSink<E> {
+    /// Enqueue `payload` to fire on `target` at absolute instant `time`.
+    fn emit(&mut self, time: SimTime, target: ComponentId, payload: E);
+}
+
+impl<E> EventSink<E> for EventQueue<E> {
+    fn emit(&mut self, time: SimTime, target: ComponentId, payload: E) {
+        self.push(time, target, payload);
+    }
 }
 
 /// Everything a component may touch while handling an event.
 pub struct Ctx<'a, E> {
     now: SimTime,
     self_id: ComponentId,
-    queue: &'a mut EventQueue<E>,
+    sink: &'a mut dyn EventSink<E>,
     rng: &'a mut SimRng,
     stats: &'a mut StatsRegistry,
     stop_requested: &'a mut bool,
 }
 
 impl<'a, E> Ctx<'a, E> {
+    /// Assemble a dispatch context (used by both engine drivers).
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: ComponentId,
+        sink: &'a mut dyn EventSink<E>,
+        rng: &'a mut SimRng,
+        stats: &'a mut StatsRegistry,
+        stop_requested: &'a mut bool,
+    ) -> Self {
+        Ctx {
+            now,
+            self_id,
+            sink,
+            rng,
+            stats,
+            stop_requested,
+        }
+    }
+
     /// Current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -66,14 +115,14 @@ impl<'a, E> Ctx<'a, E> {
 
     /// Schedule `payload` on `target` after `delay` (relative to now).
     pub fn schedule_in(&mut self, delay: SimTime, target: ComponentId, payload: E) {
-        self.queue.push(self.now + delay, target, payload);
+        self.sink.emit(self.now + delay, target, payload);
     }
 
     /// Schedule `payload` on `target` at an absolute instant, which must not
     /// be in the past.
     pub fn schedule_at(&mut self, at: SimTime, target: ComponentId, payload: E) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.queue.push(at.max(self.now), target, payload);
+        self.sink.emit(at.max(self.now), target, payload);
     }
 
     /// The engine's deterministic RNG.
@@ -89,6 +138,46 @@ impl<'a, E> Ctx<'a, E> {
     /// Ask the engine to stop after this event completes.
     pub fn request_stop(&mut self) {
         *self.stop_requested = true;
+    }
+}
+
+/// Construction-time API shared by the sequential [`Engine`] and the
+/// parallel engine ([`crate::ParEngine`]).
+///
+/// Fabric/cluster builders are generic over this trait so the same wiring
+/// code populates either engine. Components must be `Send` because the
+/// parallel engine moves them onto worker threads.
+pub trait SimBuilder<E> {
+    /// Register a component, returning its id.
+    fn register(&mut self, c: Box<dyn Component<E> + Send>) -> ComponentId;
+
+    /// Number of registered components.
+    fn registered(&self) -> usize;
+
+    /// Schedule an event from setup code (outside any component).
+    fn seed_event(&mut self, at: SimTime, target: ComponentId, payload: E);
+
+    /// Convenience: register an unboxed component.
+    fn register_component<C>(&mut self, c: C) -> ComponentId
+    where
+        C: Component<E> + Send + 'static,
+        Self: Sized,
+    {
+        self.register(Box::new(c))
+    }
+}
+
+impl<E> SimBuilder<E> for Engine<E> {
+    fn register(&mut self, c: Box<dyn Component<E> + Send>) -> ComponentId {
+        self.add_boxed(c)
+    }
+
+    fn registered(&self) -> usize {
+        self.component_count()
+    }
+
+    fn seed_event(&mut self, at: SimTime, target: ComponentId, payload: E) {
+        self.schedule(at, target, payload);
     }
 }
 
@@ -166,6 +255,19 @@ impl<E> Engine<E> {
             .expect("component checked out during dispatch")
     }
 
+    /// Downcast a component to its concrete type, if it implements
+    /// [`Component::as_any`]. Lets tests and harnesses read results back
+    /// without rebuilding the engine.
+    pub fn component_as<C: 'static>(&self, id: ComponentId) -> Option<&C> {
+        self.component(id).as_any()?.downcast_ref::<C>()
+    }
+
+    /// Mutable counterpart of [`Engine::component_as`] (e.g. to wire peer
+    /// ids after registration).
+    pub fn component_as_mut<C: 'static>(&mut self, id: ComponentId) -> Option<&mut C> {
+        self.component_mut(id).as_any_mut()?.downcast_mut::<C>()
+    }
+
     /// Current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -197,6 +299,13 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Total events ever scheduled (fired or pending). At quiesce the
+    /// conservation invariant holds:
+    /// `scheduled_total == events_fired + pending_events`.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
     /// Fire the single earliest event. Returns `false` if the queue is empty.
     ///
     /// # Panics
@@ -224,14 +333,14 @@ impl<E> Engine<E> {
             .take()
             .unwrap_or_else(|| panic!("event for unregistered/active component {:?}", ev.target));
         {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: ev.target,
-                queue: &mut self.queue,
-                rng: &mut self.rng,
-                stats: &mut self.stats,
-                stop_requested: &mut self.stop_requested,
-            };
+            let mut ctx = Ctx::new(
+                self.now,
+                ev.target,
+                &mut self.queue,
+                &mut self.rng,
+                &mut self.stats,
+                &mut self.stop_requested,
+            );
             comp.handle(ev.payload, &mut ctx);
         }
         self.components[ev.target.0] = Some(comp);
@@ -305,35 +414,31 @@ mod tests {
                 Msg::Stop => ctx.request_stop(),
             }
         }
+
+        fn as_any(&self) -> Option<&dyn Any> {
+            Some(self)
+        }
+
+        fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+            Some(self)
+        }
+    }
+
+    fn echo(max_hops: u32) -> Echo {
+        Echo {
+            peer: None,
+            received: vec![],
+            max_hops,
+        }
     }
 
     fn echo_pair() -> (Engine<Msg>, ComponentId, ComponentId) {
         let mut e = Engine::new(1);
-        let a = e.add_component(Echo {
-            peer: None,
-            received: vec![],
-            max_hops: 6,
-        });
-        let b = e.add_component(Echo {
-            peer: None,
-            received: vec![],
-            max_hops: 6,
-        });
-        // Wire peers via direct mutation (downcast not available on dyn
-        // Component, so rebuild instead).
-        let mut e = Engine::new(1);
-        let a2 = e.add_component(Echo {
-            peer: Some(b),
-            received: vec![],
-            max_hops: 6,
-        });
-        let b2 = e.add_component(Echo {
-            peer: Some(a),
-            received: vec![],
-            max_hops: 6,
-        });
-        assert_eq!(a2, a);
-        assert_eq!(b2, b);
+        let a = e.add_component(echo(6));
+        let b = e.add_component(echo(6));
+        // Wire peers after registration via downcast.
+        e.component_as_mut::<Echo>(a).expect("echo").peer = Some(b);
+        e.component_as_mut::<Echo>(b).expect("echo").peer = Some(a);
         (e, a, b)
     }
 
@@ -415,5 +520,58 @@ mod tests {
             (e.now(), e.events_fired())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn downcast_reads_results_back() {
+        let (mut e, a, b) = echo_pair();
+        e.schedule(SimTime::ZERO, a, Msg::Ping(0));
+        e.run_to_completion();
+        // Hops 0, 2, 4, 6 land on `a`; 1, 3, 5 on `b`.
+        assert_eq!(
+            e.component_as::<Echo>(a).unwrap().received,
+            vec![0, 2, 4, 6]
+        );
+        assert_eq!(e.component_as::<Echo>(b).unwrap().received, vec![1, 3, 5]);
+        // Wrong concrete type yields None rather than a panic.
+        assert!(e.component_as::<u32>(a).is_none());
+    }
+
+    /// Components that don't override `as_any` simply opt out of downcasts.
+    #[test]
+    fn downcast_default_opts_out() {
+        struct Opaque;
+        impl Component<Msg> for Opaque {
+            fn handle(&mut self, _ev: Msg, _ctx: &mut Ctx<'_, Msg>) {}
+        }
+        let mut e: Engine<Msg> = Engine::new(0);
+        let id = e.add_component(Opaque);
+        assert!(e.component_as::<Opaque>(id).is_none());
+    }
+
+    /// Conservation: every event ever scheduled is either fired or pending.
+    #[test]
+    fn conservation_at_quiesce() {
+        let (mut e, a, b) = echo_pair();
+        e.schedule(SimTime::ZERO, a, Msg::Ping(0));
+        e.schedule(SimTime::from_ns(150), b, Msg::Stop);
+        e.run_to_completion(); // halts on the stop with events still queued
+        assert_eq!(
+            e.scheduled_total(),
+            e.events_fired() + e.pending_events() as u64
+        );
+        e.run_to_completion(); // drain the rest
+        assert_eq!(e.pending_events(), 0);
+        assert_eq!(e.scheduled_total(), e.events_fired());
+    }
+
+    #[test]
+    fn builder_trait_matches_inherent_api() {
+        let mut e: Engine<Msg> = Engine::new(3);
+        let a = SimBuilder::register_component(&mut e, echo(1));
+        assert_eq!(e.registered(), 1);
+        e.seed_event(SimTime::ZERO, a, Msg::Ping(0));
+        e.run_to_completion();
+        assert_eq!(e.component_as::<Echo>(a).unwrap().received, vec![0]);
     }
 }

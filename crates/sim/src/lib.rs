@@ -14,9 +14,15 @@
 //!   pair always yields an identical event trace,
 //! * [`stats`] — counters and histograms for measurement collection.
 //!
-//! The engine is intentionally single-threaded: determinism and simple
-//! borrow semantics matter more here than parallel event execution, and the
-//! workloads in the paper's figures simulate comfortably within that budget.
+//! Two engine drivers share the same [`Component`] model:
+//!
+//! * [`Engine`] — the sequential loop: one calendar queue, simple borrow
+//!   semantics, the reference semantics everything else is measured against.
+//! * [`ParEngine`] — sharded conservative-window parallel execution for
+//!   full-scale runs (the paper's 8,192-node fabrics), configured by
+//!   [`SimConfig`]. Determinism survives parallelism: per-shard seq strides
+//!   and RNG streams keep results bit-identical across thread counts (see
+//!   the [`par`] module docs for the scheme).
 //!
 //! ```
 //! use rvma_sim::{Engine, Component, Ctx, SimTime};
@@ -44,13 +50,17 @@
 
 pub mod engine;
 pub mod event;
+pub mod par;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Component, ComponentId, Ctx, Engine};
+pub use engine::{Component, ComponentId, Ctx, Engine, EventSink, SimBuilder};
 pub use event::{EventQueue, ScheduledEvent};
+pub use par::{ParEngine, SimConfig};
+pub use ring::EventRing;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, StatsRegistry};
 pub use time::{Bandwidth, SimTime};

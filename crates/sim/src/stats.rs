@@ -112,6 +112,13 @@ impl Histogram {
     pub fn median(&mut self) -> Option<f64> {
         self.quantile(0.5)
     }
+
+    /// The raw samples in recorded order (post-quantile calls the order is
+    /// sorted; both are deterministic). The parity suite compares these
+    /// bit-for-bit across thread counts.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
 /// Named statistics owned by an [`crate::Engine`].
@@ -161,6 +168,23 @@ impl StatsRegistry {
     /// All histogram names in lexicographic order.
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)
+    }
+
+    /// Fold another registry into this one: counters add, histogram samples
+    /// append in `other`'s recorded order. The parallel engine merges shard
+    /// registries in shard-id order, which keeps the merged sample sequence
+    /// (and therefore f64 summation order in `mean`/`stddev`) bit-identical
+    /// regardless of worker thread count.
+    pub fn merge_from(&mut self, other: &StatsRegistry) {
+        for (name, c) in &other.counters {
+            self.counter(name).add(c.get());
+        }
+        for (name, h) in &other.histograms {
+            let mine = self.histogram(name);
+            for &v in h.samples() {
+                mine.record(v);
+            }
+        }
     }
 }
 

@@ -129,7 +129,11 @@ fn span_histograms_pair_the_lifecycle() {
     // Every completed epoch was handed to a waiter.
     assert_eq!(snap.span(Span::CompleteToHandoff).count(), 50);
     let h = snap.span(Span::CompleteToHandoff);
-    assert!(h.min() <= h.quantile(0.5) && h.quantile(0.5) <= h.quantile(0.99));
+    // Quantiles report bucket *lower* bounds, so they may sit below the
+    // exact min (when samples cluster in one bucket) — only monotonicity
+    // in q and the max ceiling are guaranteed.
+    assert!(h.min() <= h.max());
+    assert!(h.quantile(0.5) <= h.quantile(0.99));
     assert!(h.quantile(0.99) <= h.max().max(1));
 }
 

@@ -65,6 +65,67 @@ fn datapath_counters() -> Vec<Vec<String>> {
     ]
 }
 
+/// A short async-completion burst: 2,048 CQ-posted epochs drained by one
+/// consumer in batches, plus a handful of Future/Waker completions (one
+/// deliberately cancelled), reporting the endpoint's async counters and
+/// the CQ's batch-size quantiles.
+fn async_counters() -> Vec<Vec<String>> {
+    use rvma_core::CompletionQueue;
+
+    const PUTS: u64 = 2048;
+    let net = AsyncNetwork::with_options(2048, DeliveryOrder::InOrder, Duration::ZERO, 1);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let win = server
+        .init_window(VirtAddr::new(0), Threshold::ops(1))
+        .expect("window");
+    let cq = CompletionQueue::new(1024);
+    for _ in 0..PUTS {
+        win.post_pooled_cq(16, &cq, 0).expect("post");
+    }
+    let mut drained = 0u64;
+    std::thread::scope(|s| {
+        let init = net.initiator(NodeAddr::node(1));
+        s.spawn(move || {
+            for _ in 0..PUTS {
+                init.put(NodeAddr::node(0), VirtAddr::new(0), &[9u8; 16])
+                    .expect("put");
+            }
+        });
+        let mut out = Vec::with_capacity(64);
+        while drained < PUTS {
+            drained += cq.wait_batch(64, &mut out, Duration::from_secs(10)) as u64;
+            out.clear();
+        }
+    });
+    // Future path: one awaited completion, one cancelled mid-flight.
+    let fut = win.post_pooled_async(16).expect("post");
+    let cancelled = win.post_pooled_async(16).expect("post");
+    drop(cancelled);
+    let init = net.initiator(NodeAddr::node(2));
+    init.put(NodeAddr::node(0), VirtAddr::new(0), &[9u8; 16])
+        .expect("put");
+    init.put(NodeAddr::node(0), VirtAddr::new(0), &[9u8; 16])
+        .expect("put");
+    let _ = pollster::block_on(fut);
+    net.quiesce();
+
+    let ep = server.stats();
+    let cqs = cq.stats();
+    let row = |k: &str, v: String| vec![k.into(), v];
+    vec![
+        row("notify wakes issued", ep.notify_wakes.to_string()),
+        row("spurious future polls", ep.spurious_polls.to_string()),
+        row("futures dropped mid-flight", ep.futures_dropped.to_string()),
+        row("CQ completions", ep.cq_completions.to_string()),
+        row(
+            "CQ batch size p50 / p99",
+            format!("{} / {}", cqs.batch_p50, cqs.batch_p99),
+        ),
+        row("CQ ring overflow spills", cqs.overflowed.to_string()),
+        row("CQ consumer wakes", cqs.wakes.to_string()),
+    ]
+}
+
 /// Render nanoseconds compactly (ns below 10 µs, µs above).
 fn fmt_ns(ns: u64) -> String {
     if ns < 10_000 {
@@ -204,6 +265,9 @@ fn main() {
 
     println!("\ndatapath counters (incast burst, ring cap 64):\n");
     print_table(&["counter", "value"], &datapath_counters());
+
+    println!("\nasync completion counters (CQ burst + Future/Waker completions):\n");
+    print_table(&["counter", "value"], &async_counters());
 
     let (spans, counts) = telemetry_histograms();
     println!("\nput lifecycle latency histograms (telemetry-enabled incast burst):\n");

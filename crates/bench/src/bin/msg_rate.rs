@@ -27,10 +27,28 @@
 //! with scheduling luck, and interleaving the paths within each trial
 //! round decorrelates that noise from the A/B comparison. Run with
 //! `--quick` for a single-shot CI smoke (tiny put count, no CSV).
+//!
+//! # The `--async` receiver lane
+//!
+//! The second sweep measures the **receive side** at high in-flight
+//! counts — the epoll argument. A receiver tracking N outstanding
+//! completions through blocking notifications pays an O(N) scan per
+//! consumed completion (`wait_any` re-walks the whole handle array), so
+//! its per-thread consumption rate collapses as N grows. A
+//! [`CompletionQueue`] aggregates the same N
+//! slots into one ready-list the completing writes push onto: O(1) per
+//! completion regardless of N. Both lanes run the identical sender
+//! (credit-paced to hold the in-flight window) and identical fabric; only
+//! the receiver's completion-discovery structure differs. Rates are
+//! completions consumed per second on the one receiver thread
+//! (ops/thread), duration-bounded so the O(N²) lane terminates.
 
 use rvma_bench::{print_table, write_csv};
 use rvma_core::transport::DeliveryOrder;
-use rvma_core::{AsyncNetwork, NodeAddr, Threshold, VirtAddr};
+use rvma_core::{
+    wait_any_timeout, AsyncNetwork, CompletionQueue, NodeAddr, Notification, Threshold, VirtAddr,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const SENDERS: usize = 8;
@@ -113,58 +131,220 @@ fn median(rates: &mut [f64]) -> f64 {
     rates[rates.len() / 2]
 }
 
+/// Message size of the async receiver lane (small: the lane measures
+/// completion discovery, not payload movement).
+const ASYNC_MSG: usize = 16;
+
+#[derive(Clone, Copy, PartialEq)]
+enum RecvLane {
+    /// Blocking notifications, discovered by `wait_any` over all
+    /// outstanding handles: O(in-flight) per consumed completion.
+    WaitAny,
+    /// One `CompletionQueue` over the same slots: O(1) per completion.
+    Cq,
+}
+
+impl RecvLane {
+    fn name(self) -> &'static str {
+        match self {
+            RecvLane::WaitAny => "recv_wait_any",
+            RecvLane::Cq => "recv_cq",
+        }
+    }
+}
+
+/// One duration-bounded async-lane cell: a single receiver thread holding
+/// `inflight` outstanding completions, a sender credit-paced against the
+/// receiver's consumption counter. Returns completions consumed per
+/// second on the receiver thread.
+fn run_recv_lane(inflight: usize, duration: Duration, lane: RecvLane) -> f64 {
+    let net = AsyncNetwork::with_options(1024, DeliveryOrder::InOrder, Duration::ZERO, 1);
+    let server = net.add_endpoint(NodeAddr::node(0));
+    let win = server
+        .init_window(VirtAddr::new(0), Threshold::ops(1))
+        .expect("window");
+
+    let stop = AtomicBool::new(false);
+    let consumed = AtomicU64::new(0);
+    let mut rate = 0.0f64;
+    std::thread::scope(|s| {
+        // Sender: keep exactly `inflight` puts outstanding against the
+        // receiver's consumption counter. Every put lands in an already
+        // posted epoch (the receiver reposts one buffer per consumption),
+        // so no completion is ever lost to BufferNotPosted.
+        let init = net.initiator(NodeAddr::node(1));
+        let (stop_ref, consumed_ref) = (&stop, &consumed);
+        s.spawn(move || {
+            let payload = [7u8; ASYNC_MSG];
+            let mut issued = 0u64;
+            while !stop_ref.load(Ordering::Acquire) {
+                if issued - consumed_ref.load(Ordering::Acquire) >= inflight as u64 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                init.put(NodeAddr::node(0), VirtAddr::new(0), &payload)
+                    .expect("put");
+                issued += 1;
+            }
+        });
+
+        // Receiver: pre-post the whole in-flight window, then consume and
+        // repost until the deadline. Only this loop is timed.
+        match lane {
+            RecvLane::WaitAny => {
+                let mut notes: Vec<Notification> = (0..inflight)
+                    .map(|_| win.post_pooled(ASYNC_MSG).expect("post"))
+                    .collect();
+                let start = Instant::now();
+                let deadline = start + duration;
+                let mut count = 0u64;
+                while Instant::now() < deadline {
+                    if let Some((i, _buf)) = wait_any_timeout(&mut notes, Duration::from_millis(5))
+                    {
+                        notes[i] = win.post_pooled(ASYNC_MSG).expect("repost");
+                        count += 1;
+                        consumed.store(count, Ordering::Release);
+                    }
+                }
+                rate = count as f64 / start.elapsed().as_secs_f64();
+            }
+            RecvLane::Cq => {
+                let cq = CompletionQueue::new(4096);
+                for _ in 0..inflight {
+                    win.post_pooled_cq(ASYNC_MSG, &cq, 0).expect("post");
+                }
+                let start = Instant::now();
+                let deadline = start + duration;
+                let mut count = 0u64;
+                let mut out = Vec::with_capacity(1024);
+                while Instant::now() < deadline {
+                    let n = cq.wait_batch(1024, &mut out, Duration::from_millis(5));
+                    for _ in out.drain(..) {
+                        win.post_pooled_cq(ASYNC_MSG, &cq, 0).expect("repost");
+                    }
+                    count += n as u64;
+                    consumed.store(count, Ordering::Release);
+                }
+                rate = count as f64 / start.elapsed().as_secs_f64();
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+    rate
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let async_only = args.iter().any(|a| a == "--async");
     let (puts, trials, sizes): (u64, usize, &[usize]) = if quick {
         (2048, 1, &[8, 256])
     } else {
         (1 << 15, 5, &[8, 32, 64, 256])
     };
 
-    println!(
-        "small-message put rate: {SENDERS} senders x {puts} puts, \
-         median of {trials} trial(s), MTU 1024, zero wire latency\n"
-    );
-
-    const PATHS: [Path; 3] = [Path::Legacy, Path::Put, Path::Batch];
+    // Shared schema: submission-path rows carry the pipeline credit as
+    // their in-flight column; receiver-lane rows carry the swept window.
     let headers = [
         "size_B",
         "workers",
         "path",
+        "inflight",
         "puts_per_s",
-        "speedup_vs_legacy",
+        "speedup_vs_base",
     ];
     let mut rows = Vec::new();
-    for &size in sizes {
-        for workers in [1usize, 8] {
-            // Interleave: each trial round measures all three paths
-            // back-to-back so slow phases of the box hit them alike.
-            let mut samples: [Vec<f64>; 3] = Default::default();
-            for _ in 0..trials {
+
+    if !async_only {
+        println!(
+            "small-message put rate: {SENDERS} senders x {puts} puts, \
+             median of {trials} trial(s), MTU 1024, zero wire latency\n"
+        );
+
+        const PATHS: [Path; 3] = [Path::Legacy, Path::Put, Path::Batch];
+        for &size in sizes {
+            for workers in [1usize, 8] {
+                // Interleave: each trial round measures all three paths
+                // back-to-back so slow phases of the box hit them alike.
+                let mut samples: [Vec<f64>; 3] = Default::default();
+                for _ in 0..trials {
+                    for (p, &path) in PATHS.iter().enumerate() {
+                        samples[p].push(run_rate(size, puts, workers, path));
+                    }
+                }
+                let mut baseline = None;
                 for (p, &path) in PATHS.iter().enumerate() {
-                    samples[p].push(run_rate(size, puts, workers, path));
+                    let rate = median(&mut samples[p]);
+                    let base = *baseline.get_or_insert(rate);
+                    rows.push(vec![
+                        size.to_string(),
+                        workers.to_string(),
+                        path.name().to_string(),
+                        PIPELINE.to_string(),
+                        format!("{rate:.0}"),
+                        format!("{:.2}x", rate / base),
+                    ]);
                 }
             }
-            let mut baseline = None;
-            for (p, &path) in PATHS.iter().enumerate() {
-                let rate = median(&mut samples[p]);
-                let base = *baseline.get_or_insert(rate);
-                rows.push(vec![
-                    size.to_string(),
-                    workers.to_string(),
-                    path.name().to_string(),
-                    format!("{rate:.0}"),
-                    format!("{:.2}x", rate / base),
-                ]);
-            }
+        }
+        print_table(&headers, &rows);
+        println!(
+            "\nSame delivery fabric in every row; only the submission path differs.\n\
+             legacy = seed/PR-1 path (RwLock + alloc + send per fragment).\n"
+        );
+    }
+
+    // ---- async receiver lane: completions/s per receiver thread ----
+    let (windows, lane_secs, lane_trials): (&[usize], f64, usize) = if quick {
+        (&[1024, 4096], 0.25, 1)
+    } else {
+        (&[1024, 16384, 262144], 1.0, 3)
+    };
+    println!(
+        "async receiver lane: 1 receiver thread, {ASYNC_MSG} B puts, \
+         sender credit-paced to the in-flight window, \
+         median of {lane_trials} x {lane_secs}s trial(s)\n"
+    );
+    let lane_start = rows.len();
+    for &inflight in windows {
+        let mut wa: Vec<f64> = Vec::new();
+        let mut cq: Vec<f64> = Vec::new();
+        for _ in 0..lane_trials {
+            wa.push(run_recv_lane(
+                inflight,
+                Duration::from_secs_f64(lane_secs),
+                RecvLane::WaitAny,
+            ));
+            cq.push(run_recv_lane(
+                inflight,
+                Duration::from_secs_f64(lane_secs),
+                RecvLane::Cq,
+            ));
+        }
+        let wa = median(&mut wa);
+        let cq = median(&mut cq);
+        for (lane, rate) in [(RecvLane::WaitAny, wa), (RecvLane::Cq, cq)] {
+            rows.push(vec![
+                ASYNC_MSG.to_string(),
+                "1".to_string(),
+                lane.name().to_string(),
+                inflight.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.2}x", rate / wa),
+            ]);
         }
     }
-    print_table(&headers, &rows);
+    print_table(&headers, &rows[lane_start..]);
     println!(
-        "\nSame delivery fabric in every row; only the submission path differs.\n\
-         legacy = seed/PR-1 path (RwLock + alloc + send per fragment)."
+        "\nrecv_wait_any = blocking wait_any over all outstanding handles \
+         (O(in-flight) discovery per completion);\n\
+         recv_cq = one CompletionQueue over the same slots (O(1)). \
+         speedup_vs_base = vs recv_wait_any at the same in-flight window."
     );
-    if !quick {
+
+    // The CSV pairs both sweeps; an --async-only run would clobber the
+    // submission-path rows, so it prints without writing.
+    if !quick && !async_only {
         match write_csv("msg_rate", &headers, &rows) {
             Ok(p) => println!("csv: {p}"),
             Err(e) => eprintln!("csv write failed: {e}"),

@@ -21,9 +21,18 @@
 //!   channel), and `notify_baseline` (mutex + unconditional
 //!   `notify_all` completion, no waiter spin phase).
 //!
-//! Flags: `--quick` (tiny CI smoke, no CSV), `--baseline` / `--tuned`
-//! (run only that configuration). Default runs both and writes
-//! `results/put_latency.csv`.
+//! A third lane, `async`, shares the tuned fabric but completes through
+//! the Future/Waker path: the receiver pre-posts with
+//! `post_pooled_async` and `block_on`s the returned future. Against
+//! `tuned` it bounds the async machinery's single-op overhead — the waker
+//! handoff replaces the notification slot's spin-then-park wait, so a
+//! lone blocking op may pay one futex round-trip the spinning path
+//! avoids; the async lane buys scalability (thousands of cheap parked
+//! futures), not single-op latency.
+//!
+//! Flags: `--quick` (tiny CI smoke, no CSV), `--baseline` / `--tuned` /
+//! `--async` (run only that configuration). Default runs all three and
+//! writes `results/put_latency.csv`.
 
 use rvma_bench::{print_table, write_csv};
 use rvma_core::transport::DeliveryOrder;
@@ -48,13 +57,22 @@ fn config_for(baseline: bool) -> EndpointConfig {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Lane {
+    Baseline,
+    Tuned,
+    /// Tuned fabric, Future/Waker completion: `post_pooled_async` +
+    /// `block_on` instead of `Notification::wait`.
+    Async,
+}
+
 /// All measured round-trip samples (ns), in issue order.
-fn run(size: usize, warmup: usize, iters: usize, baseline: bool) -> Vec<u64> {
+fn run(size: usize, warmup: usize, iters: usize, lane: Lane) -> Vec<u64> {
     let net = AsyncNetwork::for_endpoint_config(
         DEFAULT_MTU,
         DeliveryOrder::InOrder,
         Duration::ZERO,
-        &config_for(baseline),
+        &config_for(lane == Lane::Baseline),
     );
     let server = net.add_endpoint(NodeAddr::node(0));
     let client = net.initiator(NodeAddr::node(1));
@@ -68,14 +86,27 @@ fn run(size: usize, warmup: usize, iters: usize, baseline: bool) -> Vec<u64> {
     for i in 0..warmup + iters {
         // Pre-post (receiver-side work, outside the timed region); the
         // pool recycles the previous epoch's allocation.
-        let mut note = win.post_pooled(size).expect("post");
-        let start = Instant::now();
-        client
-            .put_at(NodeAddr::node(0), vaddr, 0, &payload)
-            .expect("put");
-        let buf = note.wait();
-        let elapsed = start.elapsed();
-        debug_assert_eq!(buf.len(), size);
+        let elapsed = if lane == Lane::Async {
+            let fut = win.post_pooled_async(size).expect("post");
+            let start = Instant::now();
+            client
+                .put_at(NodeAddr::node(0), vaddr, 0, &payload)
+                .expect("put");
+            let buf = pollster::block_on(fut);
+            let elapsed = start.elapsed();
+            debug_assert_eq!(buf.len(), size);
+            elapsed
+        } else {
+            let mut note = win.post_pooled(size).expect("post");
+            let start = Instant::now();
+            client
+                .put_at(NodeAddr::node(0), vaddr, 0, &payload)
+                .expect("put");
+            let buf = note.wait();
+            let elapsed = start.elapsed();
+            debug_assert_eq!(buf.len(), size);
+            elapsed
+        };
         if i >= warmup {
             samples.push(elapsed.as_nanos() as u64);
         }
@@ -116,12 +147,18 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let only_baseline = args.iter().any(|a| a == "--baseline");
     let only_tuned = args.iter().any(|a| a == "--tuned");
+    let only_async = args.iter().any(|a| a == "--async");
     let (warmup, iters) = if quick { (50, 300) } else { (2_000, 20_000) };
 
-    let configs: &[(&str, bool)] = match (only_baseline, only_tuned) {
-        (true, false) => &[("baseline", true)],
-        (false, true) => &[("tuned", false)],
-        _ => &[("baseline", true), ("tuned", false)],
+    let configs: &[(&str, Lane)] = match (only_baseline, only_tuned, only_async) {
+        (true, false, false) => &[("baseline", Lane::Baseline)],
+        (false, true, false) => &[("tuned", Lane::Tuned)],
+        (false, false, true) => &[("async", Lane::Async)],
+        _ => &[
+            ("baseline", Lane::Baseline),
+            ("tuned", Lane::Tuned),
+            ("async", Lane::Async),
+        ],
     };
 
     println!(
@@ -133,11 +170,13 @@ fn main() {
         "config", "size_B", "iters", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "min_ns", "mean_ns",
     ];
     let mut rows = Vec::new();
-    let mut per_size: Vec<(usize, Option<Summary>, Option<Summary>)> = Vec::new();
+    // (size, baseline, tuned, async) — whichever lanes ran.
+    type Cell = (usize, Option<Summary>, Option<Summary>, Option<Summary>);
+    let mut per_size: Vec<Cell> = Vec::new();
     for &size in &SIZES {
-        let mut cell: (usize, Option<Summary>, Option<Summary>) = (size, None, None);
-        for &(name, baseline) in configs {
-            let s = summarize(run(size, warmup, iters, baseline));
+        let mut cell: Cell = (size, None, None, None);
+        for &(name, lane) in configs {
+            let s = summarize(run(size, warmup, iters, lane));
             rows.push(vec![
                 name.to_string(),
                 size.to_string(),
@@ -149,20 +188,23 @@ fn main() {
                 s.min.to_string(),
                 s.mean.to_string(),
             ]);
-            if baseline {
-                cell.1 = Some(s);
-            } else {
-                cell.2 = Some(s);
+            match lane {
+                Lane::Baseline => cell.1 = Some(s),
+                Lane::Tuned => cell.2 = Some(s),
+                Lane::Async => cell.3 = Some(s),
             }
         }
         per_size.push(cell);
     }
     print_table(&headers, &rows);
 
-    // A/B verdict when both configurations ran.
-    if per_size.iter().any(|(_, b, t)| b.is_some() && t.is_some()) {
+    // A/B verdicts for whichever pairs ran.
+    if per_size
+        .iter()
+        .any(|(_, b, t, _)| b.is_some() && t.is_some())
+    {
         println!("\ntuned vs baseline (same fabric, config-only difference):");
-        for (size, baseline, tuned) in &per_size {
+        for (size, baseline, tuned, _) in &per_size {
             let (Some(b), Some(t)) = (baseline, tuned) else {
                 continue;
             };
@@ -171,6 +213,24 @@ fn main() {
                 b.p50 as f64 / t.p50 as f64,
                 b.p99 as f64 / t.p99 as f64,
                 b.p999 as f64 / t.p999 as f64,
+            );
+        }
+    }
+    if per_size
+        .iter()
+        .any(|(_, _, t, a)| t.is_some() && a.is_some())
+    {
+        println!(
+            "\nasync vs tuned (same fabric; async-path single-op overhead, <1 = async slower):"
+        );
+        for (size, _, tuned, async_) in &per_size {
+            let (Some(t), Some(a)) = (tuned, async_) else {
+                continue;
+            };
+            println!(
+                "  {size:>5} B: p50 {:.2}x, p99 {:.2}x  (tuned/async)",
+                t.p50 as f64 / a.p50 as f64,
+                t.p99 as f64 / a.p99 as f64,
             );
         }
     }

@@ -15,13 +15,20 @@
 //! | `RVMA_Win_get_buf_ptrs(win, ptrs, count)` | [`rvma_win_get_buf_ptrs`] |
 //! | `RVMA_Put(send_buffer, size, dest_addr, virtual_addr)` | [`rvma_put`] |
 //! | `MPIX_Rewind(window)` (Sec. IV-F sketch) | [`rvma_win_rewind`] |
+//!
+//! Two asynchronous-native extensions follow the same naming style (they
+//! have no listing in the paper, which leaves initiator-side local
+//! completion to the implementation): [`rvma_post_buffer_async`] returns
+//! the notification as a `Future`, and [`rvma_put_notify`] is a put whose
+//! returned future resolves at local (delivery) completion.
 
 use crate::addr::{NodeAddr, VirtAddr};
 use crate::buffer::{CompletedBuffer, EpochType, Threshold};
 use crate::endpoint::RvmaEndpoint;
 use crate::error::Result;
-use crate::notify::Notification;
+use crate::notify::{Notification, NotifyFuture};
 use crate::transport::{Initiator, PutResult};
+use crate::transport_threaded::{AsyncInitiator, PutFuture};
 use crate::window::Window;
 use std::sync::Arc;
 
@@ -99,6 +106,27 @@ pub fn rvma_put(
 /// the buffer completed `back` epochs ago.
 pub fn rvma_win_rewind(win: &Window, back: u64) -> Result<CompletedBuffer> {
     win.rewind(back)
+}
+
+/// `RVMA_Post_buffer` variant whose `notification_ptr` out-parameter is a
+/// `Future`: `.await` (or `block_on`) it to receive the completed buffer.
+/// The completing write wakes the future directly through the slot's
+/// waker — no condvar broadcast, no polling loop.
+pub fn rvma_post_buffer_async(win: &Window, buffer: Vec<u8>) -> Result<NotifyFuture> {
+    win.post_buffer_async(buffer)
+}
+
+/// `RVMA_Put` variant for the threaded transport returning a future that
+/// resolves at the put's **local completion** — every fragment delivered
+/// (or NACKed) by the wire — the point at which `send_buffer` could be
+/// reused by a zero-copy initiator.
+pub fn rvma_put_notify(
+    initiator: &AsyncInitiator,
+    send_buffer: &[u8],
+    dest_addr: NodeAddr,
+    virtual_addr: VirtAddr,
+) -> Result<PutFuture> {
+    initiator.put_notify(dest_addr, virtual_addr, send_buffer)
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use crate::lut::Lut;
 use crate::mailbox::{
     BeginOutcome, DeliveryOutcome, Mailbox, MailboxMode, OpKey, DEFAULT_RETAIN_EPOCHS,
 };
+use crate::notify::AsyncNotifyStats;
 use crate::retry::{FaultModel, DEFAULT_RETRY_BUDGET};
 use crate::ring::{RingStats, DEFAULT_WIRE_QUEUE_CAP};
 use crate::telemetry::Telemetry;
@@ -169,6 +170,9 @@ pub struct EndpointStats {
     /// Fragments suppressed by a mailbox's dedup window (counted neither
     /// as accepted nor as discarded).
     pub duplicates_dropped: AtomicU64,
+    /// Async completion counters (wakes, spurious polls, dropped futures,
+    /// CQ routings). Shared with every slot this endpoint's windows post.
+    pub async_notify: Arc<AsyncNotifyStats>,
 }
 
 /// A point-in-time copy of [`EndpointStats`].
@@ -198,6 +202,16 @@ pub struct StatsSnapshot {
     pub full_stalls: u64,
     /// Parked wire workers woken by the producers' doorbell.
     pub park_wakeups: u64,
+    /// Completing writes that actually woke a consumer (condvar waiter,
+    /// parked task waker, CQ consumer, or multi-slot eventcount).
+    pub notify_wakes: u64,
+    /// Async polls that found a still-pending slot after a registration —
+    /// the woken-but-nothing-ready metric.
+    pub spurious_polls: u64,
+    /// `NotifyFuture`s dropped before consuming their completion.
+    pub futures_dropped: u64,
+    /// Completions routed into an attached `CompletionQueue`.
+    pub cq_completions: u64,
 }
 
 impl EndpointStats {
@@ -214,6 +228,10 @@ impl EndpointStats {
             max_depth: 0,
             full_stalls: 0,
             park_wakeups: 0,
+            notify_wakes: self.async_notify.notify_wakes.load(Ordering::Relaxed),
+            spurious_polls: self.async_notify.spurious_polls.load(Ordering::Relaxed),
+            futures_dropped: self.async_notify.futures_dropped.load(Ordering::Relaxed),
+            cq_completions: self.async_notify.cq_completions.load(Ordering::Relaxed),
         }
     }
 }
@@ -368,6 +386,12 @@ impl RvmaEndpoint {
     /// [`EndpointConfig::telemetry`] is set).
     pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
         self.telemetry.lock().clone()
+    }
+
+    /// The shared async-completion counters, armed into every slot this
+    /// endpoint's windows post.
+    pub(crate) fn async_notify_stats(&self) -> Arc<AsyncNotifyStats> {
+        self.stats.async_notify.clone()
     }
 
     /// Replace the endpoint's recorder with a network-shared one, so every

@@ -54,6 +54,7 @@
 pub mod addr;
 pub mod api;
 pub mod buffer;
+pub mod cq;
 pub mod endpoint;
 pub mod error;
 pub mod lut;
@@ -72,6 +73,7 @@ pub mod window;
 
 pub use addr::{NodeAddr, VirtAddr};
 pub use buffer::{CompletedBuffer, EpochType, Threshold};
+pub use cq::{CompletionQueue, CqCompletion, CqStats};
 pub use endpoint::{
     DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_WIRE_IDLE_SPINS,
     DEFAULT_WIRE_IDLE_YIELDS,
@@ -81,7 +83,10 @@ pub use lut::LUT_SHARDS;
 pub use mailbox::{EpochProgress, Mailbox, MailboxMode, DEFAULT_RETAIN_EPOCHS};
 pub use matching::{MatchEntry, MatchList, MatchStats, ANY_SOURCE};
 pub use mpix::MpixWindow;
-pub use notify::{wait_all, wait_any, wait_any_timeout, Notification, NotificationSlot};
+pub use notify::{
+    wait_all, wait_any, wait_any_timeout, AsyncNotifyStats, Notification, NotificationSlot,
+    NotifyFuture,
+};
 pub use pool::{BufferPool, PayloadPool, PoolStats};
 pub use retry::{
     DedupWindow, FaultInjector, FaultStats, PutReport, ReliableInitiator, RetryConfig,
@@ -92,6 +97,7 @@ pub use telemetry::{Event, EventKind, Histogram, Span, Telemetry, TelemetrySnaps
 pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
 pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork, TransmitOutcome};
 pub use transport_threaded::{
-    AsyncInitiator, AsyncNetwork, PutBatch, RouteStats, DEFAULT_DOORBELL_FRAGS,
+    AsyncInitiator, AsyncNetwork, PutBatch, PutDelivery, PutFuture, RouteStats,
+    DEFAULT_DOORBELL_FRAGS,
 };
 pub use window::{EpochOutcome, Window};

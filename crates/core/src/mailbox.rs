@@ -678,6 +678,19 @@ impl Mailbox {
 
         // The completing write to the completion pointer.
         buf.notify.complete(completed);
+        // Async-armed slots (async posts, CQ attachments) stamp the wake
+        // here rather than inside `complete`: the armed flag is fixed at
+        // post time and this runs under the mailbox lock, so the event's
+        // seq order is stable for deterministic replay.
+        if buf.notify.is_async_armed() {
+            telemetry::record(
+                &self.telemetry,
+                EventKind::NotifyWake,
+                self.vaddr.raw(),
+                epoch,
+                valid as u64,
+            );
+        }
 
         self.progress.epoch.fetch_add(1, Ordering::AcqRel);
         self.progress.bytes.store(0, Ordering::Release);

@@ -39,11 +39,15 @@
 //! `notify_all`, waiters unchanged.
 
 use crate::buffer::CompletedBuffer;
+use crate::cq::CqAttachment;
 use crate::telemetry::{self, EventKind, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
 
 const STATE_EMPTY: u8 = 0;
@@ -53,6 +57,148 @@ const STATE_TAKEN: u8 = 2;
 /// Spin iterations before falling back to parking — long enough to catch
 /// completions that are a cache-miss away, short enough not to burn a core.
 const SPIN_LIMIT: u32 = 4096;
+
+const WAKER_IDLE: u8 = 0;
+const WAKER_REGISTERING: u8 = 0b01;
+const WAKER_WAKING: u8 = 0b10;
+
+/// A lock-free one-waker parking cell (the `futures`-style atomic-waker
+/// protocol): the consumer registers its task's [`Waker`] and the completing
+/// write hands exactly one wake to it, race-free, without a mutex on either
+/// side.
+///
+/// States: `IDLE` (cell quiescent), `REGISTERING` (consumer storing a
+/// waker), `WAKING` (producer draining the cell). The interesting race —
+/// the completing write landing *while* the consumer is mid-registration —
+/// resolves by bit-marking: the producer sets the `WAKING` bit and walks
+/// away; the consumer's publish CAS fails, and it delivers the wake to
+/// itself. A wake is therefore never lost and never delivered twice.
+pub(crate) struct AtomicWaker {
+    state: AtomicU8,
+    waker: UnsafeCell<Option<Waker>>,
+}
+
+// SAFETY: the waker cell is accessed only inside the exclusive state-machine
+// windows (`REGISTERING` by the registering consumer, `WAKING` by whichever
+// side won the drain CAS), so there is never a concurrent &mut.
+unsafe impl Send for AtomicWaker {}
+unsafe impl Sync for AtomicWaker {}
+
+impl AtomicWaker {
+    pub(crate) const fn new() -> Self {
+        AtomicWaker {
+            state: AtomicU8::new(WAKER_IDLE),
+            waker: UnsafeCell::new(None),
+        }
+    }
+
+    /// Consumer side: park `waker` for the next wake. All orderings are
+    /// `SeqCst` — the caller's post-registration state re-check relies on
+    /// a single total order against the producer's completing `swap`.
+    pub(crate) fn register(&self, waker: &Waker) {
+        match self.state.compare_exchange(
+            WAKER_IDLE,
+            WAKER_REGISTERING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                // SAFETY: the REGISTERING window grants exclusive cell access.
+                unsafe { *self.waker.get() = Some(waker.clone()) };
+                if self
+                    .state
+                    .compare_exchange(
+                        WAKER_REGISTERING,
+                        WAKER_IDLE,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_err()
+                {
+                    // A wake landed mid-registration: the producer set the
+                    // WAKING bit and left the cell to us. Deliver the wake
+                    // to ourselves so it is not lost.
+                    // SAFETY: the producer never touches the cell when it
+                    // finds REGISTERING set; we still own it.
+                    let w = unsafe { (*self.waker.get()).take() };
+                    self.state.store(WAKER_IDLE, Ordering::SeqCst);
+                    if let Some(w) = w {
+                        w.wake();
+                    }
+                }
+            }
+            Err(s) if s & WAKER_WAKING != 0 => {
+                // A wake is being drained right now; don't park behind it.
+                waker.wake_by_ref();
+            }
+            Err(_) => {
+                // Concurrent register: single-consumer misuse; drop ours.
+            }
+        }
+    }
+
+    /// Producer side: hand one wake to the registered waker, if any.
+    /// Returns true when a waker was actually woken.
+    pub(crate) fn wake(&self) -> bool {
+        match self.state.fetch_or(WAKER_WAKING, Ordering::SeqCst) {
+            WAKER_IDLE => {
+                // SAFETY: the IDLE→WAKING transition grants exclusive
+                // access to the cell until the IDLE store below.
+                let w = unsafe { (*self.waker.get()).take() };
+                self.state.store(WAKER_IDLE, Ordering::SeqCst);
+                match w {
+                    Some(w) => {
+                        w.wake();
+                        true
+                    }
+                    None => false,
+                }
+            }
+            // REGISTERING: the consumer's publish CAS will fail and it
+            // wakes itself. WAKING: another drain is already in flight.
+            _ => false,
+        }
+    }
+
+    /// Drop any parked waker without waking it (future cancellation).
+    pub(crate) fn take(&self) -> Option<Waker> {
+        if self
+            .state
+            .compare_exchange(WAKER_IDLE, WAKER_WAKING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // SAFETY: same exclusive WAKING window as `wake`.
+            let w = unsafe { (*self.waker.get()).take() };
+            self.state.store(WAKER_IDLE, Ordering::SeqCst);
+            w
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicWaker").finish_non_exhaustive()
+    }
+}
+
+/// Counters for the async completion path, owned by the endpoint
+/// (`EndpointStats`) and armed into every slot its windows post. All relaxed:
+/// diagnostics, never synchronization.
+#[derive(Debug, Default)]
+pub struct AsyncNotifyStats {
+    /// Completing writes that actually woke someone (condvar waiter, parked
+    /// task waker, CQ consumer, or multi-slot eventcount).
+    pub(crate) notify_wakes: AtomicU64,
+    /// Future polls that found the slot still pending after a previous
+    /// registration — the woken-but-nothing-ready metric.
+    pub(crate) spurious_polls: AtomicU64,
+    /// `NotifyFuture`s dropped before consuming their completion.
+    pub(crate) futures_dropped: AtomicU64,
+    /// Completions routed into an attached `CompletionQueue`.
+    pub(crate) cq_completions: AtomicU64,
+}
 
 /// The shared, cache-line-aligned completion slot written once by the NIC.
 #[repr(align(64))]
@@ -76,6 +222,24 @@ pub struct NotificationSlot {
     wake: Mutex<()>,
     /// Wakes parked waiters (the Monitor/MWait slow path).
     condvar: Condvar,
+    /// The async parking cell: [`NotifyFuture::poll`] registers here and the
+    /// completing write wakes it directly — no condvar, no spin.
+    waker: AtomicWaker,
+    /// `wait_any`/`wait_any_timeout` callers parked on the shared eventcount
+    /// with this slot in their scan set. The completing write signals the
+    /// eventcount only when this is non-zero (Dekker-paired, both `SeqCst`),
+    /// so unrelated multi-slot waiters no longer take spurious wakeups.
+    multi_waiters: AtomicU32,
+    /// Ready-list attachment: when set (always before posting, so never
+    /// racing the completer), the completing write pushes the buffer into
+    /// the attached [`CompletionQueue`](crate::cq::CompletionQueue).
+    cq: OnceLock<CqAttachment>,
+    /// True for slots posted through an async-aware path (`post_*_async`,
+    /// CQ-attached posts). Set before posting, so the mailbox's completion
+    /// funnel can record `NotifyWake` deterministically.
+    async_armed: AtomicBool,
+    /// Endpoint-level async counters, armed by the posting window.
+    stats: OnceLock<Arc<AsyncNotifyStats>>,
 }
 
 // SAFETY: `payload` is handed from the single completer (the endpoint
@@ -102,7 +266,39 @@ impl NotificationSlot {
             payload: UnsafeCell::new(None),
             wake: Mutex::new(()),
             condvar: Condvar::new(),
+            waker: AtomicWaker::new(),
+            multi_waiters: AtomicU32::new(0),
+            cq: OnceLock::new(),
+            async_armed: AtomicBool::new(false),
+            stats: OnceLock::new(),
         })
+    }
+
+    /// Arm the endpoint's async counters into this slot (first arm wins).
+    pub(crate) fn arm_stats(&self, stats: Arc<AsyncNotifyStats>) {
+        let _ = self.stats.set(stats);
+    }
+
+    /// Mark this slot as async-visible: its completing write is recorded as
+    /// a `NotifyWake` telemetry event. Must be called before posting so the
+    /// flag can never race the completer.
+    pub(crate) fn arm_async(&self) {
+        self.async_armed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_async_armed(&self) -> bool {
+        self.async_armed.load(Ordering::Acquire)
+    }
+
+    /// Route this slot's completion into a [`CompletionQueue`] ready-list.
+    /// Must be called before posting (the `OnceLock` is written exactly
+    /// once, and the completer only reads it after the slot was posted).
+    ///
+    /// [`CompletionQueue`]: crate::cq::CompletionQueue
+    pub(crate) fn attach_cq(&self, att: CqAttachment) {
+        self.async_armed.store(true, Ordering::Release);
+        let ok = self.cq.set(att).is_ok();
+        debug_assert!(ok, "slot already attached to a completion queue");
     }
 
     /// The NIC-side completing write. Stores the buffer, flips the state
@@ -129,6 +325,10 @@ impl NotificationSlot {
             any_event().signal();
             return;
         }
+        // Clone for the CQ ready-list before publishing. The attachment is
+        // made before posting, so it cannot race this read; the clone is an
+        // Arc bump on the buffer's shared inner.
+        let cq_entry = self.cq.get().map(|att| (att, buf.clone()));
         // SAFETY: sole completer (mailbox lock serialises delivery; debug
         // assert below catches double-complete). No consumer reads the
         // payload until the SeqCst transition publishes it.
@@ -143,9 +343,12 @@ impl NotificationSlot {
         // this store is ordered before the waiter's registration (then the
         // waiter's post-registration state check sees COMPLETE and never
         // parks), or the `waiters` load below sees the registration (and we
-        // take the condvar path).
+        // take the condvar path). The same pairing covers the async waker
+        // (`NotifyFuture::poll` re-checks state after registering) and the
+        // `multi_waiters` eventcount scope.
         let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
         debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
+        let mut woke = false;
         if self.waiters.load(Ordering::SeqCst) > 0 {
             // Lock-then-unlock before notifying: a waiter that observed
             // EMPTY is either not yet inside `condvar.wait` (then it holds
@@ -153,8 +356,31 @@ impl NotificationSlot {
             // COMPLETE) or already parked (then notify_all wakes it).
             drop(self.wake.lock());
             self.condvar.notify_all();
+            woke = true;
         }
-        any_event().signal();
+        // The async handoff: one lock-free drain of the waker cell wakes the
+        // parked task directly.
+        if self.waker.wake() {
+            woke = true;
+        }
+        if let Some((att, buf)) = cq_entry {
+            att.push(buf);
+            if let Some(stats) = self.stats.get() {
+                stats.cq_completions.fetch_add(1, Ordering::Relaxed);
+            }
+            woke = true;
+        }
+        // Scoped, not broadcast: only signal the process-wide eventcount
+        // when a `wait_any` caller actually registered on *this* slot.
+        if self.multi_waiters.load(Ordering::SeqCst) > 0 {
+            any_event().signal();
+            woke = true;
+        }
+        if woke {
+            if let Some(stats) = self.stats.get() {
+                stats.notify_wakes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn is_complete(&self) -> bool {
@@ -402,6 +628,81 @@ impl Notification {
             None
         }
     }
+
+    /// Convert into the async waiting idiom: a future that resolves to the
+    /// completed buffer when the completing write lands. The completing
+    /// write wakes the registered task directly through the slot's
+    /// `AtomicWaker` — no condvar, no spin. Panics (when polled) if the
+    /// notification was already consumed.
+    pub fn into_future(self) -> NotifyFuture {
+        NotifyFuture {
+            inner: self,
+            registered: false,
+        }
+    }
+}
+
+/// The async half of a completion pointer: resolves to the
+/// [`CompletedBuffer`] once the completing write lands.
+///
+/// Created by [`Notification::into_future`] or the window's `post_*_async`
+/// methods. Cancellation is dropping the future: the parked waker (if any)
+/// is discarded, the slot is left in a consumable state (never `TAKEN`),
+/// and the completion — whether it already landed or lands later — still
+/// transfers buffer ownership to the slot, whose last `Arc` drop releases
+/// it back to the pool.
+#[derive(Debug)]
+pub struct NotifyFuture {
+    inner: Notification,
+    /// True once a waker has been parked — a later poll that still finds
+    /// the slot pending is a spurious wakeup, counted as such.
+    registered: bool,
+}
+
+impl Future for NotifyFuture {
+    type Output = CompletedBuffer;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<CompletedBuffer> {
+        let this = self.get_mut();
+        assert!(
+            !this.inner.is_consumed(),
+            "NotifyFuture polled after completion"
+        );
+        // Fast path: the completing write already landed.
+        if this.inner.slot.is_complete() {
+            return Poll::Ready(this.inner.take());
+        }
+        // Park, then re-check (the async half of the Dekker pair in
+        // `complete`): either the completer's drain sees our waker, or its
+        // SeqCst state swap is ordered before our registration and this
+        // load observes COMPLETE.
+        this.inner.slot.waker.register(cx.waker());
+        if this.inner.slot.state.load(Ordering::SeqCst) == STATE_COMPLETE {
+            return Poll::Ready(this.inner.take());
+        }
+        if this.registered {
+            if let Some(stats) = this.inner.slot.stats.get() {
+                stats.spurious_polls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        this.registered = true;
+        Poll::Pending
+    }
+}
+
+impl Drop for NotifyFuture {
+    fn drop(&mut self) {
+        if !self.inner.is_consumed() {
+            // Cancelled mid-flight: discard the parked waker so a later
+            // completing write doesn't wake a dead task, and count the
+            // abandonment. The slot stays consumable (EMPTY or COMPLETE,
+            // never TAKEN).
+            drop(self.inner.slot.waker.take());
+            if let Some(stats) = self.inner.slot.stats.get() {
+                stats.futures_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 fn scan(notifications: &mut [Notification]) -> Option<(usize, CompletedBuffer)> {
@@ -442,7 +743,19 @@ pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedB
         }
     }
     loop {
-        if let Some(hit) = any_event().wait_for(None, || scan(notifications)) {
+        // Register interest on every slot in the set before the rescan, so
+        // completers signal the eventcount only for slots someone is
+        // actually parked on. Dekker: a completer that misses the
+        // registration is ordered before it, so the rescan (which runs
+        // after) observes the COMPLETE state.
+        for n in notifications.iter() {
+            n.slot.multi_waiters.fetch_add(1, Ordering::SeqCst);
+        }
+        let hit = any_event().wait_for(None, || scan(notifications));
+        for n in notifications.iter() {
+            n.slot.multi_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(hit) = hit {
             return Some(hit);
         }
     }
@@ -477,7 +790,15 @@ pub fn wait_any_timeout(
         }
     }
     loop {
-        if let Some(hit) = any_event().wait_for(Some(deadline), || scan(notifications)) {
+        // Same scoped registration as `wait_any` (see the comment there).
+        for n in notifications.iter() {
+            n.slot.multi_waiters.fetch_add(1, Ordering::SeqCst);
+        }
+        let hit = any_event().wait_for(Some(deadline), || scan(notifications));
+        for n in notifications.iter() {
+            n.slot.multi_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(hit) = hit {
             return Some(hit);
         }
         if Instant::now() >= deadline {

@@ -90,17 +90,27 @@ pub enum EventKind {
     /// A waiter took the completion pointer. `key`/`id` = mailbox
     /// vaddr/epoch, `arg` = valid bytes.
     NotifyHandoff,
+    /// An async-armed slot's completing write published to the async side
+    /// (task waker and/or completion queue). Recorded in the mailbox's
+    /// completion funnel — under the mailbox lock, so seq order is stable
+    /// for replay. `key`/`id` = mailbox vaddr/epoch, `arg` = valid bytes.
+    NotifyWake,
+    /// A completion-queue consumer drained a non-empty batch.
+    /// `key` = 0, `id` = per-CQ poll sequence, `arg` = batch size.
+    CqPoll,
 }
 
 impl EventKind {
     /// Every kind, in lifecycle order (the order used by per-kind counts).
-    pub const ALL: [EventKind; 6] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::Submit,
         EventKind::RingEnqueue,
         EventKind::WireDeliver,
         EventKind::Retransmit,
         EventKind::EpochComplete,
         EventKind::NotifyHandoff,
+        EventKind::NotifyWake,
+        EventKind::CqPoll,
     ];
 
     /// Stable snake_case name (JSON keys, trace event names).
@@ -112,6 +122,8 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::EpochComplete => "epoch_complete",
             EventKind::NotifyHandoff => "notify_handoff",
+            EventKind::NotifyWake => "notify_wake",
+            EventKind::CqPoll => "cq_poll",
         }
     }
 
@@ -510,6 +522,9 @@ impl TelemetrySnapshot {
                         spans[2].observe(ev.ts_ns.saturating_sub(t0));
                     }
                 }
+                // Counted, no span pairing: wakes share the EpochComplete
+                // timestamp (same funnel), CQ polls are consumer-side.
+                EventKind::NotifyWake | EventKind::CqPoll => {}
             }
         }
         TelemetrySnapshot {

@@ -124,6 +124,7 @@
 use crate::addr::{NodeAddr, VirtAddr};
 use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
+use crate::notify::AtomicWaker;
 use crate::pool::{PayloadPool, PoolStats};
 use crate::retry::{FaultInjector, FaultModel, FaultStats};
 use crate::ring::{PushError, RingQueue, RingStats, RingStatsSnapshot};
@@ -135,8 +136,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -149,6 +153,119 @@ const ROUTE_SLOTS: usize = 8;
 
 type NackSink = Arc<Mutex<Vec<(VirtAddr, NackReason)>>>;
 
+/// Shared delivery-completion state of a notified put
+/// ([`AsyncInitiator::put_notify`]): one atomic fragment countdown
+/// travelling with the put's wire messages, decremented by the wire worker
+/// at each fragment's **final disposition** — delivered to the endpoint or
+/// NACKed — never on a retransmission (the retried copy carries the handle
+/// onward). When the countdown hits zero the worker publishes `done` and
+/// wakes the registered [`PutFuture`] through the same [`AtomicWaker`]
+/// handoff the notification path uses: no lock, one `fetch_sub` + one
+/// `wake` on the hot path.
+pub(crate) struct PutNotify {
+    /// Fragments not yet at their final disposition.
+    remaining: AtomicU64,
+    /// Any fragment NACKed (duplicated copies count once per NACK rolled).
+    nacked: AtomicBool,
+    /// Published after the last decrement, before the wake.
+    done: AtomicBool,
+    waker: AtomicWaker,
+}
+
+impl PutNotify {
+    fn new(fragments: u64) -> Arc<PutNotify> {
+        debug_assert!(fragments > 0);
+        Arc::new(PutNotify {
+            remaining: AtomicU64::new(fragments),
+            nacked: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            waker: AtomicWaker::new(),
+        })
+    }
+
+    /// `n` fragments reached their final disposition (0 is a no-op used by
+    /// batch passes whose every fragment was re-enqueued for retry).
+    fn fragments_done(&self, n: u64, any_nacked: bool) {
+        if any_nacked {
+            self.nacked.store(true, Ordering::SeqCst);
+        }
+        if n == 0 {
+            return;
+        }
+        let prev = self.remaining.fetch_sub(n, Ordering::SeqCst);
+        debug_assert!(prev >= n, "put_notify fragment countdown underflow");
+        if prev == n {
+            self.done.store(true, Ordering::SeqCst);
+            self.waker.wake();
+        }
+    }
+}
+
+/// What a [`PutFuture`] resolves to: the put's fragments all reached the
+/// wire's final disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutDelivery {
+    /// Fragments the put was split into.
+    pub fragments: u64,
+    /// True when any fragment was NACKed (e.g. `NoSuchMailbox` after a
+    /// crash fault); the NACK reasons themselves are in
+    /// [`AsyncInitiator::take_nacks`].
+    pub nacked: bool,
+}
+
+/// Future side of [`AsyncInitiator::put_notify`]: resolves when every
+/// fragment of the put has been delivered (or NACKed) by the wire workers.
+///
+/// This is the *initiator's* local-completion signal — the moment the
+/// paper's `RVMA_Put` buffer-reuse guarantee holds — not the receiver's
+/// threshold completion, which remains the notification machinery's job.
+/// The future is independent of any executor; poll it from one, or
+/// `block_on` it.
+#[must_use = "a PutFuture does nothing unless polled"]
+pub struct PutFuture {
+    notify: Arc<PutNotify>,
+    fragments: u64,
+}
+
+impl PutFuture {
+    /// True once delivery finished (the future would resolve immediately).
+    pub fn is_done(&self) -> bool {
+        self.notify.done.load(Ordering::SeqCst)
+    }
+}
+
+impl Future for PutFuture {
+    type Output = PutDelivery;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<PutDelivery> {
+        let report = |n: &PutNotify| PutDelivery {
+            fragments: self.fragments,
+            nacked: n.nacked.load(Ordering::SeqCst),
+        };
+        if self.notify.done.load(Ordering::SeqCst) {
+            return Poll::Ready(report(&self.notify));
+        }
+        self.notify.waker.register(cx.waker());
+        // Re-check after registration: a worker that published `done`
+        // between the first check and the register either saw the waker
+        // (and woke it) or lost the race to this load. Either way no wake
+        // is missed.
+        if self.notify.done.load(Ordering::SeqCst) {
+            return Poll::Ready(report(&self.notify));
+        }
+        Poll::Pending
+    }
+}
+
+impl std::fmt::Debug for PutFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PutFuture")
+            .field("fragments", &self.fragments)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
 enum WireMsg {
     /// A single fragment (the small-message inline fast path, and the
     /// retransmission path of the fault layer).
@@ -160,6 +277,9 @@ enum WireMsg {
         /// fresh submission). Once it reaches the retry budget the
         /// fragment is delivered without rolling the fault dice.
         attempt: u32,
+        /// Delivery countdown of a notified put; retransmissions carry it
+        /// forward so the decrement happens exactly once per fragment.
+        notify: Option<Arc<PutNotify>>,
     },
     /// A submission batch for one destination endpoint: the fragments of
     /// one multi-fragment put, or many coalesced puts from a
@@ -169,6 +289,9 @@ enum WireMsg {
         dest: NodeAddr,
         frags: Vec<Fragment>,
         nacks: NackSink,
+        /// Delivery countdown when the batch is one notified put's
+        /// fragments ([`PutBatch`] coalesced batches carry `None`).
+        notify: Option<Arc<PutNotify>>,
     },
     /// Quiesce barrier: the worker bumps the counter when every message
     /// queued before this one has been processed.
@@ -376,7 +499,8 @@ impl EndpointCache {
 }
 
 /// Deliver one fragment `copies` times (2 = duplication fault), publishing
-/// any NACKs into the submitting initiator's sink.
+/// any NACKs into the submitting initiator's sink. Returns whether any
+/// copy NACKed (the fragment's final disposition for a notified put).
 fn deliver_one(
     shared: &Shared,
     cache: &mut EndpointCache,
@@ -384,7 +508,7 @@ fn deliver_one(
     frag: &Fragment,
     nacks: &NackSink,
     copies: u32,
-) {
+) -> bool {
     telemetry::record(
         &shared.telemetry,
         EventKind::WireDeliver,
@@ -392,22 +516,29 @@ fn deliver_one(
         frag.op_id,
         frag.offset as u64,
     );
+    let mut nacked = false;
     match cache.get(shared, dest) {
         Some(ep) => {
             for _ in 0..copies {
                 if let DeliverResult::Nack(r) = ep.deliver(frag) {
                     nacks.lock().push((frag.dst_vaddr, r));
+                    nacked = true;
                 }
             }
         }
-        None => nacks
-            .lock()
-            .push((frag.dst_vaddr, NackReason::NoSuchMailbox)),
+        None => {
+            nacks
+                .lock()
+                .push((frag.dst_vaddr, NackReason::NoSuchMailbox));
+            nacked = true;
+        }
     }
+    nacked
 }
 
 /// Deliver a batch through `RvmaEndpoint::deliver_batch` (one sink lock
-/// for all the batch's NACKs). Returns the number of fragments delivered.
+/// for all the batch's NACKs). Returns (fragments delivered, NACKs
+/// published for this batch).
 fn deliver_many(
     shared: &Shared,
     cache: &mut EndpointCache,
@@ -415,7 +546,7 @@ fn deliver_many(
     frags: &[Fragment],
     nacks: &NackSink,
     scratch_nacks: &mut Vec<(VirtAddr, NackReason)>,
-) -> u64 {
+) -> (u64, u64) {
     let mut delivered = 0u64;
     if shared.telemetry.is_some() {
         for f in frags {
@@ -443,10 +574,11 @@ fn deliver_many(
             );
         }
     }
+    let nack_count = scratch_nacks.len() as u64;
     if !scratch_nacks.is_empty() {
         nacks.lock().append(scratch_nacks);
     }
-    delivered
+    (delivered, nack_count)
 }
 
 /// A retried message has been fully processed: release its slot in the
@@ -570,13 +702,22 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                             frag,
                             nacks,
                             attempt,
+                            notify,
                         } => {
-                            deliver_one(&shared, &mut cache, dest, &frag, &nacks, 1);
+                            let nacked = deliver_one(&shared, &mut cache, dest, &frag, &nacks, 1);
                             delivered += 1;
+                            if let Some(n) = notify {
+                                n.fragments_done(1, nacked);
+                            }
                             finish_retry(shared.faults.as_ref(), attempt);
                         }
-                        WireMsg::DeliverBatch { dest, frags, nacks } => {
-                            delivered += deliver_many(
+                        WireMsg::DeliverBatch {
+                            dest,
+                            frags,
+                            nacks,
+                            notify,
+                        } => {
+                            let (n, nacked) = deliver_many(
                                 &shared,
                                 &mut cache,
                                 dest,
@@ -584,6 +725,10 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                                 &nacks,
                                 &mut scratch_nacks,
                             );
+                            delivered += n;
+                            if let Some(pn) = notify {
+                                pn.fragments_done(frags.len() as u64, nacked > 0);
+                            }
                         }
                         WireMsg::Flush { acks } => {
                             acks.fetch_add(1, Ordering::AcqRel);
@@ -601,6 +746,7 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                 frag,
                 nacks,
                 attempt,
+                notify,
             } => {
                 let mut copies = 1u32;
                 if let (Some(inj), Some(plan)) = (injector.as_mut(), shared.faults.as_ref()) {
@@ -616,7 +762,8 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                         if d.drop || d.defer_spans > 0 {
                             // Link-level retransmit; a deferred fragment is
                             // simply one that re-arrives behind the queue's
-                            // younger traffic.
+                            // younger traffic. Not a final disposition: the
+                            // retried copy carries the put-notify countdown.
                             plan.pending_retries.fetch_add(1, Ordering::AcqRel);
                             telemetry::record(
                                 &shared.telemetry,
@@ -633,6 +780,7 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                                     frag,
                                     nacks,
                                     attempt: attempt + 1,
+                                    notify,
                                 },
                             );
                             finish_retry(shared.faults.as_ref(), attempt);
@@ -646,11 +794,23 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                 if !latency.is_zero() {
                     std::thread::sleep(latency);
                 }
-                deliver_one(&shared, &mut cache, dest, &frag, &nacks, copies);
+                let nacked = deliver_one(&shared, &mut cache, dest, &frag, &nacks, copies);
                 delivered += 1;
+                if let Some(n) = notify {
+                    n.fragments_done(1, nacked);
+                }
                 finish_retry(shared.faults.as_ref(), attempt);
             }
-            WireMsg::DeliverBatch { dest, frags, nacks } => {
+            WireMsg::DeliverBatch {
+                dest,
+                frags,
+                nacks,
+                notify,
+            } => {
+                // Fragments of this pass reaching their final disposition
+                // (a duplicated fragment still finalizes once; a retried
+                // one finalizes on a later pass).
+                let mut finalized = frags.len() as u64;
                 let frags = match (injector.as_mut(), shared.faults.as_ref()) {
                     (Some(inj), Some(plan)) => {
                         // Roll per fragment; survivors stay a batch, faulted
@@ -686,8 +846,10 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                                         frag,
                                         nacks: nacks.clone(),
                                         attempt: 1,
+                                        notify: notify.clone(),
                                     },
                                 );
+                                finalized -= 1;
                                 continue;
                             }
                             if d.duplicate {
@@ -707,7 +869,7 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                     // pays it as one sleep instead of N.
                     std::thread::sleep(latency * frags.len() as u32);
                 }
-                delivered += deliver_many(
+                let (n, nack_count) = deliver_many(
                     &shared,
                     &mut cache,
                     dest,
@@ -715,6 +877,10 @@ fn wire_worker(shared: Arc<Shared>, idx: usize, latency: Duration) -> u64 {
                     &nacks,
                     &mut scratch_nacks,
                 );
+                delivered += n;
+                if let Some(pn) = notify {
+                    pn.fragments_done(finalized, nack_count > 0);
+                }
             }
         }
     }
@@ -1014,6 +1180,47 @@ impl AsyncInitiator {
         offset: usize,
         data: &[u8],
     ) -> Result<()> {
+        self.submit(dest, vaddr, offset, data, None)
+    }
+
+    /// Notified put at offset 0: flag-the-future and data in one
+    /// submission. See [`put_notify_at`](AsyncInitiator::put_notify_at).
+    pub fn put_notify(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<PutFuture> {
+        self.put_notify_at(dest, vaddr, 0, data)
+    }
+
+    /// Asynchronous `RVMA_Put` that returns a [`PutFuture`] resolving when
+    /// every fragment of **this** put reaches its final wire disposition
+    /// (delivered to the destination endpoint, or NACKed). One extra `Arc`
+    /// rides the put's single wire message; the submission path is
+    /// otherwise identical to [`put_at`](AsyncInitiator::put_at), and the
+    /// completion side is a lock-free countdown + waker handoff — no
+    /// condvar, no spinning.
+    pub fn put_notify_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<PutFuture> {
+        let fragments = if data.len() <= self.shared.mtu {
+            1
+        } else {
+            data.len().div_ceil(self.shared.mtu) as u64
+        };
+        let notify = PutNotify::new(fragments);
+        self.submit(dest, vaddr, offset, data, Some(notify.clone()))?;
+        Ok(PutFuture { notify, fragments })
+    }
+
+    fn submit(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+        notify: Option<Arc<PutNotify>>,
+    ) -> Result<()> {
         let queue_idx = self.resolve_route(dest, vaddr)?;
         let queue = &self.shared.queues[queue_idx];
         let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
@@ -1048,6 +1255,7 @@ impl AsyncInitiator {
                     frag,
                     nacks: self.nacks.clone(),
                     attempt: 0,
+                    notify: notify.clone(),
                 })
                 .map_err(|_| RvmaError::UnknownDestination)?;
             telemetry::record(
@@ -1065,6 +1273,7 @@ impl AsyncInitiator {
                 dest,
                 frags,
                 nacks: self.nacks.clone(),
+                notify: notify.clone(),
             })
             .map_err(|_| RvmaError::UnknownDestination)?;
         telemetry::record(
@@ -1167,6 +1376,7 @@ impl AsyncInitiator {
                     frag,
                     nacks: self.nacks.clone(),
                     attempt: 0,
+                    notify: None,
                 })
                 .map_err(|_| RvmaError::UnknownDestination)?;
         }
@@ -1348,6 +1558,7 @@ impl PutBatch<'_> {
                 dest: *dest,
                 frags: batch,
                 nacks: self.init.nacks.clone(),
+                notify: None,
             });
             if sent.is_err() && result.is_ok() {
                 result = Err(RvmaError::UnknownDestination);

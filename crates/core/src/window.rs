@@ -8,10 +8,11 @@
 
 use crate::addr::VirtAddr;
 use crate::buffer::{CompletedBuffer, PostedBuffer, Threshold};
+use crate::cq::CompletionQueue;
 use crate::endpoint::RvmaEndpoint;
 use crate::error::Result;
 use crate::mailbox::{EpochProgress, Mailbox};
-use crate::notify::{Notification, NotificationSlot};
+use crate::notify::{AsyncNotifyStats, Notification, NotificationSlot, NotifyFuture};
 use crate::pool::{BufferPool, PoolStats};
 use crate::telemetry::Telemetry;
 use parking_lot::Mutex;
@@ -61,6 +62,9 @@ pub struct Window {
     /// never touches the endpoint's cold-path lock. `None` unless
     /// telemetry is enabled.
     telemetry: Option<Arc<Telemetry>>,
+    /// The endpoint's async-completion counters, armed into every posted
+    /// slot (cached at creation, same reason as `telemetry`).
+    async_stats: Arc<AsyncNotifyStats>,
 }
 
 impl Window {
@@ -71,6 +75,7 @@ impl Window {
         threshold: Threshold,
     ) -> Self {
         let telemetry = endpoint.telemetry();
+        let async_stats = endpoint.async_notify_stats();
         Window {
             endpoint,
             mailbox,
@@ -78,7 +83,16 @@ impl Window {
             threshold,
             pool: Arc::new(BufferPool::new()),
             telemetry,
+            async_stats,
         }
+    }
+
+    /// A fresh slot for one posted buffer, armed with the endpoint's async
+    /// counters.
+    fn new_slot(&self) -> Arc<NotificationSlot> {
+        let slot = NotificationSlot::with_baseline(self.endpoint.config().notify_baseline);
+        slot.arm_stats(self.async_stats.clone());
+        slot
     }
 
     /// The mailbox's virtual address.
@@ -105,11 +119,72 @@ impl Window {
 
     /// Post a buffer with an explicit per-buffer threshold override.
     pub fn post_buffer_with(&self, buf: Vec<u8>, threshold: Threshold) -> Result<Notification> {
-        let slot = NotificationSlot::with_baseline(self.endpoint.config().notify_baseline);
+        let slot = self.new_slot();
         self.mailbox
             .lock()
             .post(PostedBuffer::new(buf, threshold, slot.clone()))?;
         Ok(self.notification(slot))
+    }
+
+    /// [`post_buffer`](Window::post_buffer), async flavour: returns a future
+    /// resolving to the completed buffer. The completing write wakes the
+    /// awaiting task directly through the slot's waker cell — no condvar,
+    /// no spin-then-park.
+    pub fn post_buffer_async(&self, buf: Vec<u8>) -> Result<NotifyFuture> {
+        let slot = self.new_slot();
+        slot.arm_async();
+        self.mailbox
+            .lock()
+            .post(PostedBuffer::new(buf, self.threshold, slot.clone()))?;
+        Ok(self.notification(slot).into_future())
+    }
+
+    /// [`post_pooled`](Window::post_pooled), async flavour; see
+    /// [`post_buffer_async`](Window::post_buffer_async).
+    pub fn post_pooled_async(&self, len: usize) -> Result<NotifyFuture> {
+        let slot = self.new_slot();
+        slot.arm_async();
+        self.mailbox.lock().post(PostedBuffer::pooled(
+            self.pool.take(len),
+            self.threshold,
+            slot.clone(),
+            self.pool.clone(),
+        ))?;
+        Ok(self.notification(slot).into_future())
+    }
+
+    /// Post a buffer whose completion is delivered through `cq` tagged with
+    /// `user`, instead of through a per-buffer [`Notification`] — the
+    /// epoll-style idiom for multiplexing many windows onto one consumer.
+    /// No notification handle is returned: the queue is the sole consumer
+    /// of this completion (exactly-once delivery).
+    pub fn post_buffer_cq(&self, buf: Vec<u8>, cq: &CompletionQueue, user: u64) -> Result<()> {
+        let slot = self.new_slot();
+        slot.attach_cq(cq.attachment(user));
+        if let Some(t) = &self.telemetry {
+            cq.trace_into(t.clone());
+        }
+        self.mailbox
+            .lock()
+            .post(PostedBuffer::new(buf, self.threshold, slot))?;
+        Ok(())
+    }
+
+    /// [`post_pooled`](Window::post_pooled) routed into a completion queue;
+    /// see [`post_buffer_cq`](Window::post_buffer_cq).
+    pub fn post_pooled_cq(&self, len: usize, cq: &CompletionQueue, user: u64) -> Result<()> {
+        let slot = self.new_slot();
+        slot.attach_cq(cq.attachment(user));
+        if let Some(t) = &self.telemetry {
+            cq.trace_into(t.clone());
+        }
+        self.mailbox.lock().post(PostedBuffer::pooled(
+            self.pool.take(len),
+            self.threshold,
+            slot,
+            self.pool.clone(),
+        ))?;
+        Ok(())
     }
 
     /// Wrap a slot in a notification, armed with the window's recorder.
@@ -135,7 +210,7 @@ impl Window {
     /// [`post_pooled`](Window::post_pooled) with an explicit per-buffer
     /// threshold override.
     pub fn post_pooled_with(&self, len: usize, threshold: Threshold) -> Result<Notification> {
-        let slot = NotificationSlot::with_baseline(self.endpoint.config().notify_baseline);
+        let slot = self.new_slot();
         self.mailbox.lock().post(PostedBuffer::pooled(
             self.pool.take(len),
             threshold,

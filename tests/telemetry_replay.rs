@@ -108,6 +108,106 @@ fn same_seed_replays_identical_event_sequences() {
     }
 }
 
+/// The async lane of `traced_run`: same lossy fabric, same put sequence,
+/// but the receiver completes through the Future/Waker path on even
+/// epochs and a [`CompletionQueue`](rvma::core::CompletionQueue) on odd
+/// ones. `NotifyWake` is recorded inside the mailbox's completion funnel
+/// (under the mailbox lock, from the slot's post-time async flag) and
+/// `CqPoll` at the consumer's — here deterministic — drain points, so the
+/// whole async event stream must replay exactly like the blocking one.
+fn async_traced_run(model: FaultModel, seed: u64, epochs: usize) -> TelemetrySnapshot {
+    use rvma::core::CompletionQueue;
+
+    let cfg = EndpointConfig {
+        dedup_window: 1 << 15,
+        telemetry: true,
+        ..Default::default()
+    };
+    let net = LossyNetwork::with_config(16, model, seed, cfg);
+    let server = net.add_endpoint(SERVER);
+    let init = net.reliable_initiator(CLIENT);
+    let win = server
+        .init_window(VirtAddr::new(0x10), Threshold::bytes(64))
+        .unwrap();
+    let cq = CompletionQueue::new(8);
+    let mut drained = Vec::new();
+    for e in 0..epochs {
+        let fut = if e % 2 == 0 {
+            Some(win.post_buffer_async(vec![0u8; 64]).unwrap())
+        } else {
+            win.post_buffer_cq(vec![0u8; 64], &cq, e as u64).unwrap();
+            None
+        };
+        let fill = (e % 251) as u8;
+        init.put(SERVER, VirtAddr::new(0x10), &[fill; 64])
+            .unwrap_or_else(|err| panic!("seed {seed}: epoch {e}: put failed: {err:?}"));
+        net.flush_delayed();
+        match fut {
+            Some(fut) => {
+                // Inline transport: the epoch completed during put (or
+                // flush), so the future resolves on its first poll.
+                let buf = pollster::block_on(fut);
+                assert!(buf.data().iter().all(|&b| b == fill), "seed {seed}");
+            }
+            None => {
+                let n = cq.wait_batch(8, &mut drained, Duration::from_secs(10));
+                assert_eq!(n, 1, "seed {seed}: epoch {e}: CQ drain");
+                let c = drained.pop().unwrap();
+                assert_eq!(c.user, e as u64, "seed {seed}");
+                assert!(c.buffer.data().iter().all(|&b| b == fill), "seed {seed}");
+            }
+        }
+    }
+    net.telemetry().expect("telemetry enabled").snapshot()
+}
+
+#[test]
+fn async_lane_replays_identical_event_sequences() {
+    for seed in seeds() {
+        let a = async_traced_run(combined(), seed, 50);
+        let b = async_traced_run(combined(), seed, 50);
+        assert_eq!(
+            a.counts, b.counts,
+            "seed {seed}: async-lane per-kind counts diverged between replays"
+        );
+        assert_eq!(
+            a.canonical_sequence(),
+            b.canonical_sequence(),
+            "seed {seed}: async-lane event sequences diverged between replays"
+        );
+        // Every epoch's slot was async-armed: one wake funnel event each.
+        assert_eq!(a.count(EventKind::NotifyWake), 50, "seed {seed}");
+        // One non-empty drain per CQ epoch (odd epochs).
+        assert_eq!(a.count(EventKind::CqPoll), 25, "seed {seed}");
+        assert_eq!(a.count(EventKind::EpochComplete), 50, "seed {seed}");
+        assert!(a.count(EventKind::Retransmit) > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn async_and_blocking_lanes_share_the_op_stream() {
+    // The async lane changes only the completion side: the wire-facing
+    // event stream (submits, deliveries, retransmissions) must be
+    // identical to the blocking lane's for the same seed.
+    let blocking = traced_run(combined(), 42, 50);
+    let async_ = async_traced_run(combined(), 42, 50);
+    for kind in [
+        EventKind::Submit,
+        EventKind::WireDeliver,
+        EventKind::Retransmit,
+        EventKind::EpochComplete,
+    ] {
+        assert_eq!(
+            blocking.count(kind),
+            async_.count(kind),
+            "lane divergence in {}",
+            kind.as_str()
+        );
+    }
+    assert_eq!(blocking.count(EventKind::NotifyWake), 0);
+    assert_eq!(blocking.count(EventKind::CqPoll), 0);
+}
+
 #[test]
 fn different_seeds_produce_different_sequences() {
     let a = traced_run(combined(), 0xBAD_5EED, 50);

@@ -1,0 +1,124 @@
+//! Offline shim of the `pollster` crate: `block_on` drives one future to
+//! completion on the calling thread, parking on a condvar between polls.
+//!
+//! This is the whole executor the workspace needs — RVMA's futures
+//! ([`NotifyFuture`](../rvma_core/notify/struct.NotifyFuture.html),
+//! `PutFuture`, `CqReady`) are runtime-agnostic and wake through their own
+//! `AtomicWaker`s, so a single-future, single-thread driver suffices for
+//! tests and benches. No `Send` bound is required of the future; only the
+//! waker crosses threads.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// The thread-parking primitive behind `block_on`: a boolean "wake was
+/// requested" flag under a mutex, so a wake arriving *between* a poll
+/// returning `Pending` and the blocked thread reaching `wait` is never
+/// lost (the flag is already set and `wait` returns immediately).
+struct Signal {
+    notified: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Signal {
+    fn new() -> Signal {
+        Signal {
+            notified: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut notified = self.notified.lock().unwrap();
+        while !*notified {
+            notified = self.cond.wait(notified).unwrap();
+        }
+        *notified = false;
+    }
+
+    fn notify(&self) {
+        *self.notified.lock().unwrap() = true;
+        self.cond.notify_one();
+    }
+}
+
+impl Wake for Signal {
+    fn wake(self: Arc<Self>) {
+        self.notify();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notify();
+    }
+}
+
+/// Block the calling thread until `fut` resolves, returning its output.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let signal = Arc::new(Signal::new());
+    let waker = Waker::from(signal.clone());
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => signal.wait(),
+        }
+    }
+}
+
+/// Extension-method form: `fut.block_on()`.
+pub trait FutureExt: Future + Sized {
+    /// Block the calling thread until this future resolves.
+    fn block_on(self) -> Self::Output {
+        block_on(self)
+    }
+}
+
+impl<F: Future + Sized> FutureExt for F {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Poll;
+
+    #[test]
+    fn ready_future_returns_immediately() {
+        assert_eq!(block_on(std::future::ready(42)), 42);
+    }
+
+    #[test]
+    fn pending_future_woken_from_another_thread() {
+        struct Flag(Arc<Mutex<(bool, Option<Waker>)>>);
+        impl Future for Flag {
+            type Output = u32;
+            fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let mut g = self.0.lock().unwrap();
+                if g.0 {
+                    Poll::Ready(7)
+                } else {
+                    g.1 = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let shared = Arc::new(Mutex::new((false, None::<Waker>)));
+        let setter = shared.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut g = setter.lock().unwrap();
+            g.0 = true;
+            if let Some(w) = g.1.take() {
+                w.wake();
+            }
+        });
+        assert_eq!(block_on(Flag(shared)), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn extension_method_compiles() {
+        assert_eq!(std::future::ready("ok").block_on(), "ok");
+    }
+}

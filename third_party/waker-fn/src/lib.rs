@@ -1,0 +1,45 @@
+//! Offline shim of the `waker-fn` crate: wrap a closure in a
+//! [`std::task::Waker`]. Used by tests that need to observe *when* and
+//! *how often* a future's waker fires (e.g. the exactly-one-wake
+//! assertions of the async notification suite).
+
+use std::sync::Arc;
+use std::task::{Wake, Waker};
+
+struct Helper<F>(F);
+
+impl<F: Fn() + Send + Sync + 'static> Wake for Helper<F> {
+    fn wake(self: Arc<Self>) {
+        (self.0)();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        (self.0)();
+    }
+}
+
+/// A [`Waker`] that invokes `f` on every `wake`/`wake_by_ref`.
+pub fn waker_fn<F: Fn() + Send + Sync + 'static>(f: F) -> Waker {
+    Waker::from(Arc::new(Helper(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn closure_fires_per_wake() {
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        let waker = waker_fn(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        waker.wake_by_ref();
+        waker.wake_by_ref();
+        // A clone must wake the same closure (by-value consumption path).
+        let cloned = waker.clone();
+        cloned.wake();
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+}

@@ -46,7 +46,8 @@
 use rvma_bench::{print_table, write_csv};
 use rvma_core::transport::DeliveryOrder;
 use rvma_core::{
-    wait_any_timeout, AsyncNetwork, CompletionQueue, NodeAddr, Notification, Threshold, VirtAddr,
+    shm_supported, wait_any_timeout, AsyncNetwork, CompletionQueue, EndpointConfig, NodeAddr,
+    Notification, ShmClient, ShmServer, Threshold, VirtAddr,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -123,6 +124,73 @@ fn run_rate(msg_bytes: usize, puts: u64, workers: usize, path: Path) -> f64 {
     }
     let elapsed = start.elapsed();
     (SENDERS as u64 * puts) as f64 / elapsed.as_secs_f64()
+}
+
+/// The `--shm` lane: the same shape as `run_rate` — `SENDERS` sender
+/// threads, one op-threshold epoch per mailbox — but the senders live in
+/// a **separate OS process** (this binary re-exec'd in `--shm-child`
+/// role) and the wire is the shared-memory segment transport. The clock
+/// starts at the first delivered fragment, so child spawn + connect time
+/// is excluded; pacing is the request ring's own backpressure.
+fn run_shm_rate(msg_bytes: usize, puts: u64) -> f64 {
+    let server = ShmServer::create_default(1024, EndpointConfig::default()).expect("segment");
+    let ep = server.add_endpoint(NodeAddr::node(0));
+    let mut notes = Vec::with_capacity(SENDERS);
+    for i in 0..SENDERS {
+        let win = ep
+            .init_window(VirtAddr::new(i as u64), Threshold::ops(puts))
+            .expect("window");
+        notes.push(win.post_buffer(vec![0u8; SLOTS * msg_bytes]).expect("post"));
+    }
+    let exe = std::env::current_exe().expect("bench binary path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--shm-child")
+        .arg(server.path())
+        .arg(SENDERS.to_string())
+        .arg(puts.to_string())
+        .arg(msg_bytes.to_string())
+        .spawn()
+        .expect("spawn shm sender process");
+    while server.delivered() == 0 {
+        std::thread::yield_now();
+    }
+    let start = Instant::now();
+    for n in notes.iter_mut() {
+        let buf = n.wait();
+        assert!(!buf.full_buffer().is_empty(), "lost completion");
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        child.wait().expect("child exit").success(),
+        "sender process failed"
+    );
+    (SENDERS as u64 * puts) as f64 / elapsed.as_secs_f64()
+}
+
+/// Child role of the `--shm` lane: pure initiator process. Connects to
+/// the parent's segment and blasts the put stream; the bounded request
+/// ring provides the flow control.
+fn shm_child(args: &[String]) {
+    let path = std::path::PathBuf::from(&args[0]);
+    let senders: usize = args[1].parse().expect("senders");
+    let puts: u64 = args[2].parse().expect("puts");
+    let msg_bytes: usize = args[3].parse().expect("msg_bytes");
+    let client = ShmClient::connect(&path, NodeAddr::node(1)).expect("connect to segment");
+    std::thread::scope(|s| {
+        for i in 0..senders {
+            let client = &client;
+            let payload = vec![i as u8 + 1; msg_bytes];
+            s.spawn(move || {
+                let dest = NodeAddr::node(0);
+                let vaddr = VirtAddr::new(i as u64);
+                for k in 0..puts {
+                    let off = (k as usize % SLOTS) * msg_bytes;
+                    client.put_at(dest, vaddr, off, &payload).expect("put");
+                }
+            });
+        }
+    });
+    client.flush().expect("final flush");
 }
 
 /// Median of the collected trial rates.
@@ -235,13 +303,57 @@ fn run_recv_lane(inflight: usize, duration: Duration, lane: RecvLane) -> f64 {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--shm-child") {
+        shm_child(&args[pos + 1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let async_only = args.iter().any(|a| a == "--async");
+    let shm_only = args.iter().any(|a| a == "--shm");
     let (puts, trials, sizes): (u64, usize, &[usize]) = if quick {
         (2048, 1, &[8, 256])
     } else {
         (1 << 15, 5, &[8, 32, 64, 256])
     };
+
+    if shm_only {
+        if !shm_supported() {
+            println!(
+                "msg_rate --shm: shared-memory transport unsupported on this platform; skipping"
+            );
+            return;
+        }
+        println!(
+            "cross-process put rate (--shm): {SENDERS} sender threads in a child process x \
+             {puts} puts over one shared-memory segment, median of {trials} trial(s)\n"
+        );
+        let headers = ["size_B", "workers", "path", "inflight", "puts_per_s"];
+        let mut rows = Vec::new();
+        for &size in sizes {
+            let mut samples: Vec<f64> = (0..trials).map(|_| run_shm_rate(size, puts)).collect();
+            let rate = median(&mut samples);
+            rows.push(vec![
+                size.to_string(),
+                "1".to_string(),
+                "shm".to_string(),
+                "ring".to_string(),
+                format!("{rate:.0}"),
+            ]);
+        }
+        print_table(&headers, &rows);
+        println!(
+            "\nInitiators and receiver are separate OS processes; the clock starts at the \
+             first delivered fragment (spawn + connect excluded); in-flight depth is the \
+             request ring's capacity."
+        );
+        if !quick {
+            match write_csv("msg_rate_shm", &headers, &rows) {
+                Ok(p) => println!("csv: {p}"),
+                Err(e) => eprintln!("csv write failed: {e}"),
+            }
+        }
+        return;
+    }
 
     // Shared schema: submission-path rows carry the pipeline credit as
     // their in-flight column; receiver-lane rows carry the swept window.

@@ -14,7 +14,10 @@
 //!
 //! * The ready-list is the existing Vyukov bounded MPSC [`RingQueue`] — the
 //!   completer's push is lock-free (one CAS claim + release store). If the
-//!   ring is full the entry spills to a mutex-guarded overflow list; the
+//!   ring is full the entry spills to a mutex-guarded overflow list and
+//!   opens a *spill episode*: every later completion follows it to the list
+//!   (even after the ring regains room) until the consumer has drained the
+//!   list, so delivery order stays enqueue order across the spill. The
 //!   spill is counted and only ever taken on the exceptional path, so the
 //!   completion hot path stays lock-free when the queue is sized sanely.
 //! * Slots attach **before posting** (`Window::post_*_cq`), so the
@@ -36,7 +39,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
@@ -85,6 +88,10 @@ struct CqInner {
     ready: RingQueue<CqEntry>,
     /// Spillover when the ring is momentarily full — counted, never lost.
     overflow: Mutex<VecDeque<CqEntry>>,
+    /// True while spilled entries are queued (set and cleared under the
+    /// `overflow` lock). While set, pushes bypass the ring so an entry
+    /// enqueued *after* a spilled one can never be delivered before it.
+    spilling: AtomicBool,
     /// Queued-entry count, `SeqCst`: the Dekker word between producer wake
     /// and consumer park.
     entries: AtomicU64,
@@ -118,9 +125,24 @@ impl CqInner {
     /// Lock-free unless the ring is full (bounded queue, counted spill).
     fn push(&self, entry: CqEntry) {
         self.enqueued.fetch_add(1, Ordering::Relaxed);
-        if let Err(PushError::Full(e) | PushError::Closed(e)) = self.ready.try_push(entry) {
-            self.overflow.lock().push_back(e);
-            self.overflowed.fetch_add(1, Ordering::Relaxed);
+        let mut entry = Some(entry);
+        // Open spill episode: join the back of the overflow list rather
+        // than jumping a spilled predecessor via the ring (the episode may
+        // have ended while we took the lock — re-check under it).
+        if self.spilling.load(Ordering::Acquire) {
+            let mut overflow = self.overflow.lock();
+            if self.spilling.load(Ordering::Relaxed) {
+                overflow.push_back(entry.take().expect("unspilled entry"));
+                self.overflowed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(e) = entry {
+            if let Err(PushError::Full(e) | PushError::Closed(e)) = self.ready.try_push(e) {
+                let mut overflow = self.overflow.lock();
+                self.spilling.store(true, Ordering::Release);
+                overflow.push_back(e);
+                self.overflowed.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // SeqCst publish before the waiter checks: either a parked consumer
         // sees the new entry count, or we see its registration below.
@@ -137,12 +159,24 @@ impl CqInner {
     }
 
     fn pop(&self) -> Option<CqEntry> {
-        // Ring first (the common, lock-free case), then the spill list.
-        // Cross-source ordering is approximate FIFO — same contract as an
-        // epoll ready-list.
-        self.ready
-            .try_pop()
-            .or_else(|| self.overflow.lock().pop_front())
+        // Ring first: during a spill episode it holds only entries from
+        // *before* the first spill (later pushes divert to the list), so
+        // ring-then-list is exact enqueue order, not approximate.
+        if let Some(e) = self.ready.try_pop() {
+            return Some(e);
+        }
+        if !self.spilling.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut overflow = self.overflow.lock();
+        let e = overflow.pop_front();
+        if overflow.is_empty() {
+            // Episode over — the list is drained and, since every push
+            // during the episode landed here, the ring is empty too.
+            // Producers racing this store re-check under the lock we hold.
+            self.spilling.store(false, Ordering::Release);
+        }
+        e
     }
 }
 
@@ -173,6 +207,7 @@ impl CompletionQueue {
             inner: Arc::new(CqInner {
                 ready: RingQueue::new(capacity),
                 overflow: Mutex::new(VecDeque::new()),
+                spilling: AtomicBool::new(false),
                 entries: AtomicU64::new(0),
                 waker: AtomicWaker::new(),
                 waiters: AtomicU32::new(0),
@@ -442,6 +477,37 @@ mod tests {
         let mut users: Vec<u64> = out.iter().map(|c| c.user).collect();
         users.sort_unstable();
         assert_eq!(users, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fifo_preserved_across_overflow_spill() {
+        // Regression: pop() used to drain the ring before the overflow
+        // list unconditionally, so an entry enqueued *after* a spilled one
+        // could overtake it once the ring regained room.
+        let cq = CompletionQueue::new(2);
+        // Fill the ring (A, B), then spill C — episode opens.
+        complete_attached(&cq, 1, 1);
+        complete_attached(&cq, 2, 2);
+        complete_attached(&cq, 3, 3);
+        assert_eq!(cq.stats().overflowed, 1);
+        // Drain the pre-spill entries; the ring now has room again.
+        let mut out = Vec::new();
+        assert_eq!(cq.poll_batch(2, &mut out), 2);
+        assert_eq!(out[0].user, 1);
+        assert_eq!(out[1].user, 2);
+        // D is enqueued after C. The old push put D in the ring and the
+        // old pop preferred the ring, delivering D before C.
+        complete_attached(&cq, 4, 4);
+        out.clear();
+        assert_eq!(cq.poll_batch(8, &mut out), 2);
+        let users: Vec<u64> = out.iter().map(|c| c.user).collect();
+        assert_eq!(users, vec![3, 4], "delivery order must be enqueue order");
+        // Episode closed: the next completion takes the lock-free ring.
+        complete_attached(&cq, 5, 5);
+        out.clear();
+        assert_eq!(cq.poll_batch(8, &mut out), 1);
+        assert_eq!(out[0].user, 5);
+        assert_eq!(cq.stats().overflowed, 2, "D spilled during the episode");
     }
 
     #[test]

@@ -115,6 +115,15 @@ pub struct EndpointConfig {
     /// disabled datapath carries only a `None` option (one branch per
     /// hook, no allocation, no atomics).
     pub telemetry: bool,
+    /// Capacity (wire messages) of the shared-memory transport's
+    /// cross-process request ring ([`crate::transport_shm`]), rounded up
+    /// to a power of two. Each slot is `~72 B + MTU`, so this also sizes
+    /// the mapped segment. A full ring backpressures the initiating
+    /// process — `put` blocks, never drops.
+    pub shm_req_slots: usize,
+    /// Capacity of the shared-memory transport's response ring (delivery
+    /// acks, NACKs, flush acks flowing receiver → initiator).
+    pub shm_rsp_slots: usize,
 }
 
 /// Default idle spin budget of a wire worker (see
@@ -142,9 +151,19 @@ impl Default for EndpointConfig {
             wire_idle_yields: DEFAULT_WIRE_IDLE_YIELDS,
             notify_baseline: false,
             telemetry: false,
+            shm_req_slots: DEFAULT_SHM_REQ_SLOTS,
+            shm_rsp_slots: DEFAULT_SHM_RSP_SLOTS,
         }
     }
 }
+
+/// Default request-ring capacity of the shared-memory transport (see
+/// [`EndpointConfig::shm_req_slots`]).
+pub const DEFAULT_SHM_REQ_SLOTS: usize = 1024;
+
+/// Default response-ring capacity of the shared-memory transport (see
+/// [`EndpointConfig::shm_rsp_slots`]).
+pub const DEFAULT_SHM_RSP_SLOTS: usize = 1024;
 
 /// Counters an endpoint keeps about its datapath (all relaxed atomics —
 /// they are observability, not synchronization).

@@ -86,6 +86,11 @@ pub enum RvmaError {
         /// Total fragments the operation comprises.
         total: u64,
     },
+    /// A transport backend failed at the OS boundary: the shared-memory
+    /// segment could not be created/mapped, the peer process died, or the
+    /// platform lacks the required primitives. Carries a human-readable
+    /// description of what went wrong.
+    TransportFailed(String),
 }
 
 impl fmt::Display for RvmaError {
@@ -119,6 +124,7 @@ impl fmt::Display for RvmaError {
                 f,
                 "retry budget exhausted after {attempts} attempts ({acked}/{total} fragments acked)"
             ),
+            RvmaError::TransportFailed(why) => write!(f, "transport failed: {why}"),
         }
     }
 }

@@ -65,9 +65,11 @@ pub mod notify;
 pub mod pool;
 pub mod retry;
 pub mod ring;
+pub mod shm;
 pub mod telemetry;
 pub mod transport;
 pub mod transport_lossy;
+pub mod transport_shm;
 pub mod transport_threaded;
 pub mod window;
 
@@ -75,8 +77,8 @@ pub use addr::{NodeAddr, VirtAddr};
 pub use buffer::{CompletedBuffer, EpochType, Threshold};
 pub use cq::{CompletionQueue, CqCompletion, CqStats};
 pub use endpoint::{
-    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_WIRE_IDLE_SPINS,
-    DEFAULT_WIRE_IDLE_YIELDS,
+    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_SHM_REQ_SLOTS,
+    DEFAULT_SHM_RSP_SLOTS, DEFAULT_WIRE_IDLE_SPINS, DEFAULT_WIRE_IDLE_YIELDS,
 };
 pub use error::{NackReason, Result, RvmaError};
 pub use lut::LUT_SHARDS;
@@ -93,9 +95,13 @@ pub use retry::{
     DEFAULT_DEDUP_WINDOW, DEFAULT_RETRY_BUDGET,
 };
 pub use ring::{PushError, RingQueue, RingStats, RingStatsSnapshot, DEFAULT_WIRE_QUEUE_CAP};
+pub use shm::{shm_supported, ShmSegment};
 pub use telemetry::{Event, EventKind, Histogram, Span, Telemetry, TelemetrySnapshot};
-pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, DEFAULT_MTU};
-pub use transport_lossy::{FaultModel, LossyInitiator, LossyNetwork, TransmitOutcome};
+pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, Transport, DEFAULT_MTU};
+pub use transport_lossy::{
+    FaultModel, InlineChannel, LossyInitiator, LossyNetwork, TransmitOutcome,
+};
+pub use transport_shm::{shm_pair, ShmClient, ShmServer};
 pub use transport_threaded::{
     AsyncInitiator, AsyncNetwork, PutBatch, PutDelivery, PutFuture, RouteStats,
     DEFAULT_DOORBELL_FRAGS,

@@ -57,6 +57,45 @@ pub struct PutResult {
     pub completed_epoch: bool,
 }
 
+/// Initiator-side surface every transport backend offers — the contract the
+/// cross-transport conformance suite (`tests/transport_conformance.rs`)
+/// drives identically over the inline-lossy, threaded, and shared-memory
+/// backends.
+///
+/// The semantics are the asynchronous ones (the lowest common denominator
+/// all three backends can honour):
+///
+/// * [`put_at`](Transport::put_at) may return before delivery; it errors
+///   only on *local* conditions (unknown destination, dead peer process).
+/// * Target-side refusals surface as **asynchronous NACKs** through
+///   [`take_nacks`](Transport::take_nacks) — even on backends that learn
+///   of the NACK synchronously.
+/// * [`flush`](Transport::flush) is the drain barrier: when it returns,
+///   every previously submitted fragment has reached its final disposition
+///   (delivered or NACKed) at the target, *including* link-level
+///   retransmissions still pending inside the backend — so a subsequent
+///   `take_nacks` is complete for everything submitted before the flush.
+pub trait Transport: Send + Sync {
+    /// Backend name for diagnostics/parametrised assertions.
+    fn backend(&self) -> &'static str;
+
+    /// `RVMA_Put` of `data` into the mailbox at `vaddr` on `dest`, writing
+    /// at byte `offset` of the active buffer.
+    fn put_at(&self, dest: NodeAddr, vaddr: VirtAddr, offset: usize, data: &[u8]) -> Result<()>;
+
+    /// `RVMA_Put` at offset 0.
+    fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
+        self.put_at(dest, vaddr, 0, data)
+    }
+
+    /// Block until every previously submitted fragment reached its final
+    /// disposition at the target (the quiesce/drain barrier).
+    fn flush(&self) -> Result<()>;
+
+    /// Drain the asynchronously collected NACKs observed so far.
+    fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)>;
+}
+
 /// The in-process network connecting RVMA endpoints.
 #[derive(Debug)]
 pub struct LoopbackNetwork {

@@ -39,6 +39,7 @@ use crate::error::{NackReason, Result, RvmaError};
 pub use crate::retry::FaultModel;
 use crate::retry::{FaultDecision, FaultInjector, FaultStats, ReliableInitiator, RetryConfig};
 use crate::telemetry::{self, EventKind, Telemetry};
+use crate::transport::Transport;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -342,6 +343,60 @@ impl LossyNetwork {
              (LossyNetwork::with_config with dedup_window > 0)"
         );
         ReliableInitiator::new(self.clone(), src, retry)
+    }
+
+    /// A [`Transport`]-conformant channel over this network: a
+    /// [`ReliableInitiator`] whose synchronous NACK results are re-surfaced
+    /// asynchronously, so the cross-transport conformance suite can drive
+    /// the inline backend through the same contract as the threaded and
+    /// shared-memory ones.
+    ///
+    /// # Panics
+    /// See [`reliable_initiator`](Self::reliable_initiator).
+    pub fn inline_channel(self: &Arc<Self>, src: NodeAddr) -> InlineChannel {
+        InlineChannel {
+            net: self.clone(),
+            init: self.reliable_initiator(src),
+            nacks: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// [`Transport`] adapter over [`ReliableInitiator`] — see
+/// [`LossyNetwork::inline_channel`].
+pub struct InlineChannel {
+    net: Arc<LossyNetwork>,
+    init: ReliableInitiator,
+    nacks: Mutex<Vec<(VirtAddr, NackReason)>>,
+}
+
+impl Transport for InlineChannel {
+    fn backend(&self) -> &'static str {
+        "inline-lossy"
+    }
+
+    fn put_at(&self, dest: NodeAddr, vaddr: VirtAddr, offset: usize, data: &[u8]) -> Result<()> {
+        match self.init.put_at(dest, vaddr, offset, data) {
+            Ok(_) => Ok(()),
+            // The inline initiator learns of the refusal synchronously;
+            // the Transport contract reports it like the async backends do.
+            Err(RvmaError::Nacked(r)) => {
+                self.nacks.lock().push((vaddr, r));
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        // The reliable put already blocked until delivery; the only state
+        // parked inside the backend is reorder/delay-deferred copies.
+        self.net.flush_delayed();
+        Ok(())
+    }
+
+    fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
+        std::mem::take(&mut *self.nacks.lock())
     }
 }
 

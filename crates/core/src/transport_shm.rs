@@ -1,0 +1,1532 @@
+//! Cross-process transport: the RVMA wire protocol over shared memory.
+//!
+//! This is the first backend where initiator and target live in *different
+//! OS processes*. A file-backed [`ShmSegment`](crate::shm::ShmSegment)
+//! carries two bounded rings of fixed-size slots — the Vyukov design of
+//! [`crate::ring`] re-laid over raw shared memory, with futex doorbells
+//! replacing the in-process Dekker unpark:
+//!
+//! * the **request ring** (MPSC: any number of initiator threads → the
+//!   server's single wire worker) carries put fragments and flush markers;
+//! * the **response ring** (SPSC: wire worker → the client's response
+//!   pump) carries per-fragment delivery acks for notified puts, NACKs,
+//!   and flush acks.
+//!
+//! Layering is the point: the server-side worker runs the *same*
+//! receiver datapath as the in-process transports — [`RvmaEndpoint`]
+//! delivery, dedup windows ([`crate::retry`]), seeded fault injection with
+//! link-level retransmission, op-level telemetry — and the client resolves
+//! the *same* [`PutFuture`] the threaded transport hands out, fed by acks
+//! crossing the segment instead of an in-process countdown. Nothing above
+//! the wire knows the peer is in another address space.
+//!
+//! ## Quiesce over shared memory
+//!
+//! [`ShmClient::flush`] pushes a tokened flush marker through the request
+//! ring. The worker acks it only when no link-level retransmission is
+//! parked in its deferred queue (`pending_retries == 0`); otherwise the
+//! marker is re-deferred *behind* the parked fragments, so the ack proves
+//! every fragment submitted before the flush — including fault re-enqueues
+//! and anything parked in the shm ring/doorbell path — reached its final
+//! disposition. This is the same drain-barrier contract as
+//! `AsyncNetwork::quiesce`, kept honest by the bounded retry budget.
+//!
+//! ## Peer death
+//!
+//! Every blocking loop is bounded: futex waits time out and re-check, the
+//! segment header carries both PIDs plus a `state` word the server flips
+//! to `SERVER_GONE` on drop, and stuck producers probe `/proc/<pid>`.
+//! A dead server fails client calls with [`RvmaError::TransportFailed`]
+//! and resolves outstanding [`PutFuture`]s as NACKed; a dead client makes
+//! the server drop undeliverable responses. The segment file is unlinked
+//! by its creator; an already-mapped segment stays usable until the last
+//! mapping drops (POSIX unlink semantics), so no state leaks even when a
+//! peer dies mid-conversation. See DESIGN.md §12.
+
+use crate::addr::{NodeAddr, VirtAddr};
+use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
+use crate::error::{NackReason, Result, RvmaError};
+use crate::retry::{FaultInjector, FaultStats};
+use crate::shm::{self, ShmSegment};
+use crate::telemetry::{self, EventKind, Telemetry};
+use crate::transport::Transport;
+use crate::transport_threaded::{PutFuture, PutNotify};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Segment magic ("RVMASHM1") — a peer mapping the wrong file fails fast.
+const SHM_MAGIC: u64 = 0x5256_4D41_5348_4D31;
+/// Wire-layout version; bump on any slot/header change.
+const SHM_VERSION: u32 = 1;
+
+/// The mmap zero-fill value — what a client sees before the server's
+/// `STATE_READY` publish.
+#[allow(dead_code)]
+const STATE_INIT: u32 = 0;
+const STATE_READY: u32 = 1;
+const STATE_SERVER_GONE: u32 = 2;
+
+// Request-ring message kinds.
+const REQ_PUT: u32 = 1;
+const REQ_FLUSH: u32 = 2;
+
+// Response-ring message kinds.
+const RSP_PUT_DONE: u32 = 1;
+const RSP_NACK: u32 = 2;
+const RSP_FLUSH_ACK: u32 = 3;
+
+/// Bounded doorbell sleep: a lost wakeup (or dying peer) costs at most
+/// this much latency, never a hang.
+const DOORBELL_WAIT: Duration = Duration::from_millis(20);
+
+/// How long `connect` waits for the server to initialise the segment.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn round64(n: usize) -> usize {
+    (n + 63) & !63
+}
+
+fn pid_alive(pid: u32) -> bool {
+    if !cfg!(target_os = "linux") {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+fn encode_nack(r: NackReason) -> u32 {
+    match r {
+        NackReason::WindowClosed => 1,
+        NackReason::NoSuchMailbox => 2,
+        NackReason::NoBufferPosted => 3,
+        NackReason::OutOfBounds => 4,
+    }
+}
+
+fn decode_nack(v: u32) -> NackReason {
+    match v {
+        1 => NackReason::WindowClosed,
+        3 => NackReason::NoBufferPosted,
+        4 => NackReason::OutOfBounds,
+        _ => NackReason::NoSuchMailbox,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment layout
+// ---------------------------------------------------------------------------
+
+/// Futex-backed eventcount doorbell living in the segment header. The
+/// producer bumps `seq` (cheap RMW) after publishing and issues the wake
+/// syscall only when a consumer advertised itself in `waiters`; the
+/// consumer snapshots `seq` *before* its final emptiness re-check, so a
+/// publish between check and sleep changes the word and the futex refuses
+/// to block. All waits are additionally time-bounded (see
+/// [`DOORBELL_WAIT`]).
+#[repr(C)]
+struct Doorbell {
+    seq: AtomicU32,
+    waiters: AtomicU32,
+}
+
+impl Doorbell {
+    fn ring(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            shm::futex_wake(&self.seq, u32::MAX);
+        }
+    }
+
+    /// Advertise intent to sleep; returns the observed sequence. The
+    /// caller must re-check its work predicate between `prepare` and
+    /// `wait`, and call `cancel` instead of `wait` if work appeared.
+    fn prepare(&self) -> u32 {
+        let seen = self.seq.load(Ordering::SeqCst);
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        seen
+    }
+
+    fn cancel(&self) {
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn wait(&self, seen: u32, timeout: Duration) {
+        shm::futex_wait(&self.seq, seen, timeout);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// First bytes of the segment: identification, handshake state, geometry,
+/// liveness PIDs, and the two doorbells. Everything is atomics — the
+/// header is the one region both processes write concurrently.
+#[repr(C)]
+struct SegHeader {
+    magic: AtomicU64,
+    mtu: AtomicU64,
+    req_slots: AtomicU64,
+    rsp_slots: AtomicU64,
+    version: AtomicU32,
+    state: AtomicU32,
+    server_pid: AtomicU32,
+    client_pid: AtomicU32,
+    req_bell: Doorbell,
+    rsp_bell: Doorbell,
+}
+
+/// Space reserved for [`SegHeader`] at offset 0.
+const HDR_SPACE: usize = 128;
+
+/// Producer/consumer cursors of one ring, each on its own cache line.
+#[repr(C, align(64))]
+struct RingCtrl {
+    tail: AtomicU64,
+    _pad0: [u8; 56],
+    head: AtomicU64,
+    _pad1: [u8; 56],
+}
+
+const CTRL_SPACE: usize = 128;
+
+/// Per-slot request header (fixed 64 bytes after the slot's sequence
+/// word; the inline payload follows). `Bytes` handles cannot cross
+/// address spaces, so the fragment is fully serialised: identification,
+/// placement, and the payload bytes themselves.
+#[repr(C)]
+struct ReqHdr {
+    kind: AtomicU32,
+    len: AtomicU32,
+    dest_nid: AtomicU32,
+    dest_pid: AtomicU32,
+    init_nid: AtomicU32,
+    init_pid: AtomicU32,
+    /// Nonzero for notified puts: the client-side key the delivery ack
+    /// comes back under. Doubles as the flush token for `REQ_FLUSH`.
+    token: AtomicU32,
+    _rsv: AtomicU32,
+    op_id: AtomicU64,
+    vaddr: AtomicU64,
+    total_len: AtomicU64,
+    offset: AtomicU64,
+}
+
+const REQ_HDR_SIZE: usize = 64;
+
+/// Per-slot response header (acks flowing server → client).
+#[repr(C)]
+struct RspHdr {
+    kind: AtomicU32,
+    token: AtomicU32,
+    reason: AtomicU32,
+    nacked: AtomicU32,
+    vaddr: AtomicU64,
+}
+
+const RSP_HDR_SIZE: usize = 24;
+
+/// Computed segment geometry; both sides derive it from the header's
+/// `(mtu, req_slots, rsp_slots)` so they always agree on offsets.
+#[derive(Clone, Copy)]
+struct SegGeometry {
+    mtu: usize,
+    req_slots: usize,
+    rsp_slots: usize,
+    req_ctrl: usize,
+    req_base: usize,
+    req_stride: usize,
+    rsp_ctrl: usize,
+    rsp_base: usize,
+    rsp_stride: usize,
+    total: usize,
+}
+
+impl SegGeometry {
+    fn new(mtu: usize, req_slots: usize, rsp_slots: usize) -> SegGeometry {
+        let req_stride = round64(8 + REQ_HDR_SIZE + mtu);
+        let rsp_stride = round64(8 + RSP_HDR_SIZE);
+        let req_ctrl = HDR_SPACE;
+        let req_base = req_ctrl + CTRL_SPACE;
+        let rsp_ctrl = round64(req_base + req_slots * req_stride);
+        let rsp_base = rsp_ctrl + CTRL_SPACE;
+        let total = round64(rsp_base + rsp_slots * rsp_stride);
+        SegGeometry {
+            mtu,
+            req_slots,
+            rsp_slots,
+            req_ctrl,
+            req_base,
+            req_stride,
+            rsp_ctrl,
+            rsp_base,
+            rsp_stride,
+            total,
+        }
+    }
+}
+
+fn header(seg: &ShmSegment) -> &SegHeader {
+    // SAFETY: offset 0 is 64-aligned and HDR_SPACE covers the struct; the
+    // mapping outlives every borrow (the segment Arc is held alongside).
+    unsafe { seg.at::<SegHeader>(0) }
+}
+
+// ---------------------------------------------------------------------------
+// The ring over raw shared memory
+// ---------------------------------------------------------------------------
+
+/// One Vyukov bounded ring laid out in the segment: a control block of
+/// head/tail cursors plus `cap` fixed-stride slots, each starting with its
+/// sequence word. Producers claim a slot by CAS on `tail`, fill it, and
+/// publish with a release store of `seq = tail + 1`; the single consumer
+/// reads at `seq == head + 1` and recycles with `seq = head + cap`. Same
+/// protocol as [`crate::ring::RingQueue`], but every word lives at a
+/// process-independent offset instead of behind a `Box`.
+#[derive(Clone)]
+struct RawRing {
+    seg: Arc<ShmSegment>,
+    ctrl: usize,
+    base: usize,
+    stride: usize,
+    cap: usize,
+}
+
+impl RawRing {
+    fn ctrl(&self) -> &RingCtrl {
+        // SAFETY: ctrl offset is 64-aligned and in bounds by geometry.
+        unsafe { self.seg.at::<RingCtrl>(self.ctrl) }
+    }
+
+    fn slot_off(&self, idx: usize) -> usize {
+        self.base + idx * self.stride
+    }
+
+    fn slot_seq(&self, idx: usize) -> &AtomicU64 {
+        // SAFETY: slot offsets are 64-aligned and in bounds by geometry.
+        unsafe { self.seg.at::<AtomicU64>(self.slot_off(idx)) }
+    }
+
+    /// Creator-side slot initialisation (`seq[i] = i`) — must complete
+    /// before the header flips to `STATE_READY`.
+    fn init_slots(&self) {
+        for i in 0..self.cap {
+            self.slot_seq(i).store(i as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Claim a slot for writing. Returns the slot index and the ticket to
+    /// publish with, or `None` when the ring is full.
+    fn begin_push(&self) -> Option<(usize, u64)> {
+        let ctrl = self.ctrl();
+        loop {
+            let tail = ctrl.tail.load(Ordering::Relaxed);
+            let idx = (tail % self.cap as u64) as usize;
+            let seq = self.slot_seq(idx).load(Ordering::Acquire);
+            if seq == tail {
+                if ctrl
+                    .tail
+                    .compare_exchange_weak(tail, tail + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return Some((idx, tail));
+                }
+            } else if seq < tail {
+                return None; // full
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn publish(&self, idx: usize, ticket: u64) {
+        self.slot_seq(idx).store(ticket + 1, Ordering::Release);
+    }
+
+    /// True when the next slot is ready for the consumer.
+    fn can_pop(&self) -> bool {
+        let head = self.ctrl().head.load(Ordering::Relaxed);
+        let idx = (head % self.cap as u64) as usize;
+        self.slot_seq(idx).load(Ordering::Acquire) == head + 1
+    }
+
+    /// Single-consumer: claim the next filled slot for reading. Returns
+    /// the slot index; the caller must `release` it when done copying.
+    fn begin_pop(&self) -> Option<usize> {
+        let head = self.ctrl().head.load(Ordering::Relaxed);
+        let idx = (head % self.cap as u64) as usize;
+        if self.slot_seq(idx).load(Ordering::Acquire) == head + 1 {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn release_pop(&self, idx: usize) {
+        let ctrl = self.ctrl();
+        let head = ctrl.head.load(Ordering::Relaxed);
+        self.slot_seq(idx)
+            .store(head + self.cap as u64, Ordering::Release);
+        ctrl.head.store(head + 1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages (deserialised owned forms)
+// ---------------------------------------------------------------------------
+
+enum ServerMsg {
+    Frag {
+        dest: NodeAddr,
+        frag: Fragment,
+        token: u32,
+        /// Fault-layer attempts burned (0 = fresh off the wire). Only
+        /// server-local retries raise it; it never crosses the segment.
+        attempt: u32,
+    },
+    Flush(u32),
+}
+
+struct RspMsg {
+    kind: u32,
+    token: u32,
+    reason: u32,
+    nacked: u32,
+    vaddr: u64,
+}
+
+fn req_hdr(seg: &ShmSegment, slot_off: usize) -> &ReqHdr {
+    // SAFETY: slot base is 64-aligned, +8 keeps u64 alignment; in bounds.
+    unsafe { seg.at::<ReqHdr>(slot_off + 8) }
+}
+
+fn rsp_hdr(seg: &ShmSegment, slot_off: usize) -> &RspHdr {
+    // SAFETY: as above.
+    unsafe { seg.at::<RspHdr>(slot_off + 8) }
+}
+
+// ---------------------------------------------------------------------------
+// Server (receiver process)
+// ---------------------------------------------------------------------------
+
+/// Fault-injection state of a [`ShmServer`] (mirrors the threaded
+/// transport's plan; the injector itself lives on the worker thread).
+struct ShmFaultPlan {
+    model: crate::retry::FaultModel,
+    budget: u32,
+    seed: u64,
+    stats: Arc<FaultStats>,
+    /// Retransmissions parked in the worker's deferred queue. The flush
+    /// protocol re-defers its ack behind them while this is nonzero —
+    /// the shm half of the quiesce drain barrier.
+    pending_retries: AtomicU64,
+}
+
+struct ServerInner {
+    seg: Arc<ShmSegment>,
+    geo: SegGeometry,
+    config: EndpointConfig,
+    endpoints: RwLock<HashMap<NodeAddr, Arc<RvmaEndpoint>>>,
+    fault: Option<ShmFaultPlan>,
+    telemetry: Option<Arc<Telemetry>>,
+    stop: AtomicBool,
+    delivered: AtomicU64,
+}
+
+impl ServerInner {
+    fn req_ring(&self) -> RawRing {
+        RawRing {
+            seg: self.seg.clone(),
+            ctrl: self.geo.req_ctrl,
+            base: self.geo.req_base,
+            stride: self.geo.req_stride,
+            cap: self.geo.req_slots,
+        }
+    }
+
+    fn rsp_ring(&self) -> RawRing {
+        RawRing {
+            seg: self.seg.clone(),
+            ctrl: self.geo.rsp_ctrl,
+            base: self.geo.rsp_base,
+            stride: self.geo.rsp_stride,
+            cap: self.geo.rsp_slots,
+        }
+    }
+}
+
+/// The receiving (server) half of the shared-memory transport: owns the
+/// segment, hosts [`RvmaEndpoint`]s, and runs one wire-worker thread that
+/// pops fragments off the request ring and drives the standard receiver
+/// datapath — dedup, fault injection, telemetry, notification — exactly as
+/// the in-process transports do.
+pub struct ShmServer {
+    inner: Arc<ServerInner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ShmServer {
+    /// Create the segment at `path` and start the wire worker. Ring
+    /// capacities come from [`EndpointConfig::shm_req_slots`] /
+    /// [`EndpointConfig::shm_rsp_slots`]; fault model, dedup window,
+    /// retry budget, and telemetry all plumb through unchanged from the
+    /// same config the in-process transports take.
+    pub fn create(path: &Path, mtu: usize, config: EndpointConfig) -> Result<ShmServer> {
+        assert!(mtu > 0, "MTU must be positive");
+        let req_slots = config.shm_req_slots.next_power_of_two().max(2);
+        let rsp_slots = config.shm_rsp_slots.next_power_of_two().max(2);
+        let geo = SegGeometry::new(mtu, req_slots, rsp_slots);
+        let seg = Arc::new(ShmSegment::create(path, geo.total)?);
+
+        let telemetry = config.telemetry.then(|| Arc::new(Telemetry::new()));
+        let fault = (!config.fault_model.is_none()).then(|| ShmFaultPlan {
+            model: config.fault_model,
+            budget: config.retry_budget.max(1),
+            seed: config.fault_seed,
+            stats: Arc::new(FaultStats::default()),
+            pending_retries: AtomicU64::new(0),
+        });
+        let inner = Arc::new(ServerInner {
+            seg: seg.clone(),
+            geo,
+            config,
+            endpoints: RwLock::new(HashMap::new()),
+            fault,
+            telemetry,
+            stop: AtomicBool::new(false),
+            delivered: AtomicU64::new(0),
+        });
+
+        inner.req_ring().init_slots();
+        inner.rsp_ring().init_slots();
+        let hdr = header(&seg);
+        hdr.mtu.store(mtu as u64, Ordering::Relaxed);
+        hdr.req_slots.store(req_slots as u64, Ordering::Relaxed);
+        hdr.rsp_slots.store(rsp_slots as u64, Ordering::Relaxed);
+        hdr.version.store(SHM_VERSION, Ordering::Relaxed);
+        hdr.server_pid.store(std::process::id(), Ordering::Relaxed);
+        hdr.magic.store(SHM_MAGIC, Ordering::Relaxed);
+        // Publish: a connecting client acquires everything above through
+        // this store.
+        hdr.state.store(STATE_READY, Ordering::Release);
+
+        let worker = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("rvma-shm-wire".into())
+                .spawn(move || shm_worker(inner))
+                .expect("spawn shm wire worker")
+        };
+        Ok(ShmServer {
+            inner,
+            worker: Some(worker),
+        })
+    }
+
+    /// Create with defaults at a fresh unique path (see
+    /// [`crate::shm::default_segment_path`]).
+    pub fn create_default(mtu: usize, config: EndpointConfig) -> Result<ShmServer> {
+        ShmServer::create(&shm::default_segment_path("srv"), mtu, config)
+    }
+
+    /// The segment path a peer passes to [`ShmClient::connect`].
+    pub fn path(&self) -> &Path {
+        self.inner.seg.path()
+    }
+
+    /// The wire MTU.
+    pub fn mtu(&self) -> usize {
+        self.inner.geo.mtu
+    }
+
+    /// Create and host an endpoint at `addr` (the shm analogue of
+    /// `AsyncNetwork::add_endpoint`).
+    pub fn add_endpoint(&self, addr: NodeAddr) -> Arc<RvmaEndpoint> {
+        let ep = RvmaEndpoint::with_config(addr, self.inner.config.clone());
+        if let Some(t) = &self.inner.telemetry {
+            ep.attach_telemetry(t.clone());
+        }
+        self.inner.endpoints.write().insert(addr, ep.clone());
+        ep
+    }
+
+    /// Attach an existing endpoint.
+    pub fn register(&self, endpoint: Arc<RvmaEndpoint>) {
+        if let Some(t) = &self.inner.telemetry {
+            endpoint.attach_telemetry(t.clone());
+        }
+        self.inner
+            .endpoints
+            .write()
+            .insert(endpoint.addr(), endpoint);
+    }
+
+    /// Detach the endpoint at `addr`; queued fragments NACK with
+    /// `NoSuchMailbox` when the worker reaches them — the crash-fault
+    /// behaviour, triggerable explicitly.
+    pub fn remove_endpoint(&self, addr: NodeAddr) -> bool {
+        self.inner.endpoints.write().remove(&addr).is_some()
+    }
+
+    /// The server-side telemetry recorder, when enabled.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.inner.telemetry.clone()
+    }
+
+    /// Network-wide fault counters, when fault injection is active.
+    pub fn fault_stats(&self) -> Option<Arc<FaultStats>> {
+        self.inner.fault.as_ref().map(|p| p.stats.clone())
+    }
+
+    /// Link-level retransmissions currently parked in the worker's
+    /// deferred queue (nonzero ⇒ a flush ack is being held back).
+    pub fn pending_retries(&self) -> u64 {
+        self.inner
+            .fault
+            .as_ref()
+            .map(|p| p.pending_retries.load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Fragments delivered to endpoints so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Stop the worker after a final fault-free drain of the request ring
+    /// and the deferred queue (the graceful analogue of `WireMsg::Stop`).
+    /// Further client traffic fails with the server-gone state.
+    pub fn stop(&mut self) {
+        header(&self.inner.seg)
+            .state
+            .store(STATE_SERVER_GONE, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        header(&self.inner.seg).req_bell.ring();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShmServer {
+    fn drop(&mut self) {
+        self.stop();
+        // Segment unlinks when the Arc drops (we are the creator).
+    }
+}
+
+/// The server's wire worker: single consumer of the request ring, single
+/// producer of the response ring. Ring traffic takes priority; deferred
+/// retransmissions (and re-deferred flush markers) run when the ring is
+/// momentarily dry, so a retried fragment lands behind the queued traffic
+/// exactly as it does on the threaded transport.
+fn shm_worker(inner: Arc<ServerInner>) {
+    let req = inner.req_ring();
+    let rsp = inner.rsp_ring();
+    let hdr = header(&inner.seg);
+    let mut injector = inner
+        .fault
+        .as_ref()
+        .map(|p| FaultInjector::new(p.model, p.seed, p.stats.clone()));
+    let mut deferred: VecDeque<ServerMsg> = VecDeque::new();
+    loop {
+        if let Some(msg) = pop_req(&inner, &req) {
+            process_msg(&inner, &rsp, &mut injector, &mut deferred, msg, false);
+            continue;
+        }
+        if let Some(msg) = deferred.pop_front() {
+            process_msg(&inner, &rsp, &mut injector, &mut deferred, msg, false);
+            continue;
+        }
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let seen = hdr.req_bell.prepare();
+        if req.can_pop() || inner.stop.load(Ordering::Acquire) {
+            hdr.req_bell.cancel();
+            continue;
+        }
+        hdr.req_bell.wait(seen, DOORBELL_WAIT);
+    }
+    // Final drain, fault-free: retransmissions parked behind the stop and
+    // fragments that raced the shutdown must not strand their futures.
+    loop {
+        let msg = match pop_req(&inner, &req) {
+            Some(m) => m,
+            None => match deferred.pop_front() {
+                Some(m) => m,
+                None => break,
+            },
+        };
+        process_msg(&inner, &rsp, &mut injector, &mut deferred, msg, true);
+    }
+}
+
+/// Deserialise the next request-ring slot into an owned message.
+fn pop_req(inner: &ServerInner, req: &RawRing) -> Option<ServerMsg> {
+    let idx = req.begin_pop()?;
+    let off = req.slot_off(idx);
+    let h = req_hdr(&inner.seg, off);
+    let kind = h.kind.load(Ordering::Relaxed);
+    let msg = if kind == REQ_FLUSH {
+        ServerMsg::Flush(h.token.load(Ordering::Relaxed))
+    } else {
+        let len = h.len.load(Ordering::Relaxed) as usize;
+        let len = len.min(inner.geo.mtu);
+        // SAFETY: payload region of a published slot; the producer wrote
+        // `len <= mtu` bytes there before the release-publish we acquired.
+        let data = unsafe {
+            let p = inner.seg.as_ptr().add(off + 8 + REQ_HDR_SIZE);
+            std::slice::from_raw_parts(p, len)
+        };
+        ServerMsg::Frag {
+            dest: NodeAddr::new(
+                h.dest_nid.load(Ordering::Relaxed),
+                h.dest_pid.load(Ordering::Relaxed),
+            ),
+            frag: Fragment {
+                initiator: NodeAddr::new(
+                    h.init_nid.load(Ordering::Relaxed),
+                    h.init_pid.load(Ordering::Relaxed),
+                ),
+                op_id: h.op_id.load(Ordering::Relaxed),
+                dst_vaddr: VirtAddr::new(h.vaddr.load(Ordering::Relaxed)),
+                op_total_len: h.total_len.load(Ordering::Relaxed),
+                offset: h.offset.load(Ordering::Relaxed) as usize,
+                data: Bytes::copy_from_slice(data),
+            },
+            token: h.token.load(Ordering::Relaxed),
+            attempt: 0,
+        }
+    };
+    req.release_pop(idx);
+    Some(msg)
+}
+
+fn process_msg(
+    inner: &ServerInner,
+    rsp: &RawRing,
+    injector: &mut Option<FaultInjector>,
+    deferred: &mut VecDeque<ServerMsg>,
+    msg: ServerMsg,
+    drain: bool,
+) {
+    match msg {
+        ServerMsg::Flush(token) => {
+            if !drain {
+                if let Some(plan) = &inner.fault {
+                    if plan.pending_retries.load(Ordering::Acquire) > 0 {
+                        // Fragments are parked in the deferred queue: the
+                        // drain barrier is not satisfied. Re-defer the
+                        // marker *behind* them (satellite of quiesce
+                        // correctness — the ack must account for the shm
+                        // ring/doorbell path's parked fragments the same
+                        // way the threaded barrier accounts for fault
+                        // re-enqueues).
+                        deferred.push_back(ServerMsg::Flush(token));
+                        return;
+                    }
+                }
+            }
+            push_rsp(
+                inner,
+                rsp,
+                &RspMsg {
+                    kind: RSP_FLUSH_ACK,
+                    token,
+                    reason: 0,
+                    nacked: 0,
+                    vaddr: 0,
+                },
+            );
+        }
+        ServerMsg::Frag {
+            dest,
+            frag,
+            token,
+            attempt,
+        } => {
+            let mut copies = 1u32;
+            if !drain {
+                if let (Some(inj), Some(plan)) = (injector.as_mut(), inner.fault.as_ref()) {
+                    // Same dice discipline as the threaded worker:
+                    // zero-length fragments bypass the dice, and the
+                    // attempt that reaches the budget delivers fault-free.
+                    if !frag.data.is_empty() && attempt < plan.budget {
+                        let d = inj.roll();
+                        if d.crash {
+                            inner.endpoints.write().remove(&dest);
+                        }
+                        if d.drop || d.defer_spans > 0 {
+                            plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                            telemetry::record(
+                                &inner.telemetry,
+                                EventKind::Retransmit,
+                                telemetry::initiator_key(frag.initiator.nid, frag.initiator.pid),
+                                frag.op_id,
+                                (attempt + 1) as u64,
+                            );
+                            deferred.push_back(ServerMsg::Frag {
+                                dest,
+                                frag,
+                                token,
+                                attempt: attempt + 1,
+                            });
+                            if attempt > 0 {
+                                plan.pending_retries.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            return;
+                        }
+                        if d.duplicate {
+                            copies = 2;
+                        }
+                    }
+                }
+            }
+            telemetry::record(
+                &inner.telemetry,
+                EventKind::WireDeliver,
+                telemetry::initiator_key(frag.initiator.nid, frag.initiator.pid),
+                frag.op_id,
+                frag.offset as u64,
+            );
+            let mut nacked = false;
+            match inner.endpoints.read().get(&dest).cloned() {
+                Some(ep) => {
+                    for _ in 0..copies {
+                        if let DeliverResult::Nack(r) = ep.deliver(&frag) {
+                            push_rsp(
+                                inner,
+                                rsp,
+                                &RspMsg {
+                                    kind: RSP_NACK,
+                                    token: 0,
+                                    reason: encode_nack(r),
+                                    nacked: 1,
+                                    vaddr: frag.dst_vaddr.0,
+                                },
+                            );
+                            nacked = true;
+                        }
+                    }
+                }
+                None => {
+                    push_rsp(
+                        inner,
+                        rsp,
+                        &RspMsg {
+                            kind: RSP_NACK,
+                            token: 0,
+                            reason: encode_nack(NackReason::NoSuchMailbox),
+                            nacked: 1,
+                            vaddr: frag.dst_vaddr.0,
+                        },
+                    );
+                    nacked = true;
+                }
+            }
+            inner.delivered.fetch_add(1, Ordering::Relaxed);
+            if token != 0 {
+                push_rsp(
+                    inner,
+                    rsp,
+                    &RspMsg {
+                        kind: RSP_PUT_DONE,
+                        token,
+                        reason: 0,
+                        nacked: nacked as u32,
+                        vaddr: frag.dst_vaddr.0,
+                    },
+                );
+            }
+            if attempt > 0 {
+                if let Some(plan) = &inner.fault {
+                    plan.pending_retries.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+/// Blocking response push: acks must not drop while the client lives. A
+/// full ring kicks the pump's doorbell and backs off; if the client
+/// process is gone the response is dropped (nobody is left to read it).
+fn push_rsp(inner: &ServerInner, rsp: &RawRing, msg: &RspMsg) {
+    let hdr = header(&inner.seg);
+    let mut tries = 0u32;
+    loop {
+        if let Some((idx, ticket)) = rsp.begin_push() {
+            let off = rsp.slot_off(idx);
+            let h = rsp_hdr(&inner.seg, off);
+            h.kind.store(msg.kind, Ordering::Relaxed);
+            h.token.store(msg.token, Ordering::Relaxed);
+            h.reason.store(msg.reason, Ordering::Relaxed);
+            h.nacked.store(msg.nacked, Ordering::Relaxed);
+            h.vaddr.store(msg.vaddr, Ordering::Relaxed);
+            rsp.publish(idx, ticket);
+            hdr.rsp_bell.ring();
+            return;
+        }
+        hdr.rsp_bell.ring();
+        tries += 1;
+        if tries.is_multiple_of(1024) {
+            let cpid = hdr.client_pid.load(Ordering::SeqCst);
+            if cpid != 0 && !pid_alive(cpid) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client (initiator process)
+// ---------------------------------------------------------------------------
+
+struct PendingPut {
+    notify: Arc<PutNotify>,
+    remaining: u64,
+}
+
+struct FlushState {
+    acked: HashSet<u32>,
+    dead: bool,
+}
+
+struct ClientInner {
+    seg: Arc<ShmSegment>,
+    geo: SegGeometry,
+    src: NodeAddr,
+    next_op: AtomicU64,
+    next_token: AtomicU32,
+    next_flush: AtomicU32,
+    tokens: Mutex<HashMap<u32, PendingPut>>,
+    nacks: Mutex<Vec<(VirtAddr, NackReason)>>,
+    flush_state: Mutex<FlushState>,
+    flush_cv: Condvar,
+    stop: AtomicBool,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl ClientInner {
+    fn req_ring(&self) -> RawRing {
+        RawRing {
+            seg: self.seg.clone(),
+            ctrl: self.geo.req_ctrl,
+            base: self.geo.req_base,
+            stride: self.geo.req_stride,
+            cap: self.geo.req_slots,
+        }
+    }
+
+    fn rsp_ring(&self) -> RawRing {
+        RawRing {
+            seg: self.seg.clone(),
+            ctrl: self.geo.rsp_ctrl,
+            base: self.geo.rsp_base,
+            stride: self.geo.rsp_stride,
+            cap: self.geo.rsp_slots,
+        }
+    }
+
+    fn server_dead(&self) -> bool {
+        let hdr = header(&self.seg);
+        if hdr.state.load(Ordering::SeqCst) == STATE_SERVER_GONE {
+            return true;
+        }
+        let spid = hdr.server_pid.load(Ordering::SeqCst);
+        spid != 0 && !pid_alive(spid)
+    }
+
+    /// Resolve every outstanding future/flush as failed (peer death).
+    fn fail_all_pending(&self) {
+        let mut tokens = self.tokens.lock();
+        for (_, p) in tokens.drain() {
+            p.notify.fragments_done(p.remaining, true);
+        }
+        drop(tokens);
+        let mut fs = self.flush_state.lock();
+        fs.dead = true;
+        drop(fs);
+        self.flush_cv.notify_all();
+    }
+}
+
+/// The initiating (client) half: maps a server's segment and speaks the
+/// wire protocol through it. All puts go through the request ring; a
+/// background response pump resolves [`PutFuture`]s, collects NACKs, and
+/// releases [`flush`](ShmClient::flush) barriers from the response ring.
+pub struct ShmClient {
+    inner: Arc<ClientInner>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl ShmClient {
+    /// Map the segment at `path` (waiting up to 10 s for the server to
+    /// initialise it) and start the response pump.
+    pub fn connect(path: &Path, src: NodeAddr) -> Result<ShmClient> {
+        ShmClient::connect_with(path, src, None)
+    }
+
+    /// [`connect`](ShmClient::connect) with an initiator-side telemetry
+    /// recorder for `Submit`/`RingEnqueue` events (pass the server's
+    /// recorder in an in-process pair to trace the full put lifecycle).
+    pub fn connect_with(
+        path: &Path,
+        src: NodeAddr,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<ShmClient> {
+        let t0 = Instant::now();
+        let seg = loop {
+            match ShmSegment::open(path) {
+                Ok(seg) if seg.len() >= HDR_SPACE => {
+                    if header(&seg).state.load(Ordering::Acquire) == STATE_READY {
+                        break seg;
+                    }
+                    if header(&seg).state.load(Ordering::Acquire) == STATE_SERVER_GONE {
+                        return Err(RvmaError::TransportFailed(format!(
+                            "server at {} already gone",
+                            path.display()
+                        )));
+                    }
+                }
+                Ok(_) | Err(_) if t0.elapsed() < CONNECT_TIMEOUT => {}
+                Ok(_) => {
+                    return Err(RvmaError::TransportFailed(format!(
+                        "segment {} never became ready",
+                        path.display()
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let hdr = header(&seg);
+        if hdr.magic.load(Ordering::Relaxed) != SHM_MAGIC {
+            return Err(RvmaError::TransportFailed(format!(
+                "{} is not an RVMA segment",
+                path.display()
+            )));
+        }
+        if hdr.version.load(Ordering::Relaxed) != SHM_VERSION {
+            return Err(RvmaError::TransportFailed(format!(
+                "segment {} has wire version {} (expected {SHM_VERSION})",
+                path.display(),
+                hdr.version.load(Ordering::Relaxed)
+            )));
+        }
+        let geo = SegGeometry::new(
+            hdr.mtu.load(Ordering::Relaxed) as usize,
+            hdr.req_slots.load(Ordering::Relaxed) as usize,
+            hdr.rsp_slots.load(Ordering::Relaxed) as usize,
+        );
+        if geo.mtu == 0 || seg.len() < geo.total {
+            return Err(RvmaError::TransportFailed(format!(
+                "segment {} geometry mismatch ({} B mapped, {} B required)",
+                path.display(),
+                seg.len(),
+                geo.total
+            )));
+        }
+        hdr.client_pid.store(std::process::id(), Ordering::SeqCst);
+
+        let inner = Arc::new(ClientInner {
+            seg: Arc::new(seg),
+            geo,
+            src,
+            next_op: AtomicU64::new(1),
+            next_token: AtomicU32::new(0),
+            next_flush: AtomicU32::new(0),
+            tokens: Mutex::new(HashMap::new()),
+            nacks: Mutex::new(Vec::new()),
+            flush_state: Mutex::new(FlushState {
+                acked: HashSet::new(),
+                dead: false,
+            }),
+            flush_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            telemetry,
+        });
+        let pump = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("rvma-shm-pump".into())
+                .spawn(move || rsp_pump(inner))
+                .expect("spawn shm response pump")
+        };
+        Ok(ShmClient {
+            inner,
+            pump: Some(pump),
+        })
+    }
+
+    /// The initiator's source address.
+    pub fn src(&self) -> NodeAddr {
+        self.inner.src
+    }
+
+    /// The wire MTU agreed with the server.
+    pub fn mtu(&self) -> usize {
+        self.inner.geo.mtu
+    }
+
+    /// Fire-and-forget `RVMA_Put` at offset 0.
+    pub fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
+        self.put_at(dest, vaddr, 0, data)
+    }
+
+    /// Fire-and-forget `RVMA_Put` at an explicit buffer offset. Blocks
+    /// only for ring backpressure; delivery is asynchronous (use
+    /// [`put_notify_at`](ShmClient::put_notify_at) or
+    /// [`flush`](ShmClient::flush) to observe it).
+    pub fn put_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        self.submit(dest, vaddr, offset, data, 0)?;
+        Ok(())
+    }
+
+    /// `RVMA_Put` returning a [`PutFuture`] that resolves when every
+    /// fragment reached its final disposition at the server — the same
+    /// local-completion contract as `AsyncInitiator::put_notify`, resolved
+    /// by cross-process acks instead of an in-process countdown.
+    pub fn put_notify(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<PutFuture> {
+        self.put_notify_at(dest, vaddr, 0, data)
+    }
+
+    /// [`put_notify`](ShmClient::put_notify) at an explicit offset.
+    pub fn put_notify_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<PutFuture> {
+        // Token 0 means "no ack requested"; skip it on wrap.
+        let mut token = self.inner.next_token.fetch_add(1, Ordering::Relaxed) + 1;
+        if token == 0 {
+            token = self.inner.next_token.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        // A put is at least one fragment even when empty — the countdown
+        // must resolve for zero-length puts (no-wire-payload audit).
+        let fragments = data.len().div_ceil(self.inner.geo.mtu).max(1) as u64;
+        let notify = PutNotify::new(fragments);
+        self.inner.tokens.lock().insert(
+            token,
+            PendingPut {
+                notify: notify.clone(),
+                remaining: fragments,
+            },
+        );
+        if let Err(e) = self.submit(dest, vaddr, offset, data, token) {
+            self.inner.tokens.lock().remove(&token);
+            return Err(e);
+        }
+        Ok(PutFuture::from_notify(notify, fragments))
+    }
+
+    /// Fragment and push one put into the request ring.
+    fn submit(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+        token: u32,
+    ) -> Result<()> {
+        let mtu = self.inner.geo.mtu;
+        let op_id = self.inner.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(self.inner.src.nid, self.inner.src.pid);
+        telemetry::record(
+            &self.inner.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            data.len() as u64,
+        );
+        // A zero-byte put is a single empty fragment (one counted op) —
+        // the same rule as every in-process initiator.
+        let ranges: Vec<(usize, usize)> = if data.is_empty() {
+            vec![(0, 0)]
+        } else {
+            (0..data.len())
+                .step_by(mtu)
+                .map(|s| (s, (s + mtu).min(data.len())))
+                .collect()
+        };
+        for &(s, e) in &ranges {
+            telemetry::record(
+                &self.inner.telemetry,
+                EventKind::RingEnqueue,
+                src_key,
+                op_id,
+                (offset + s) as u64,
+            );
+            self.push_req(|h, payload| {
+                h.kind.store(REQ_PUT, Ordering::Relaxed);
+                h.len.store((e - s) as u32, Ordering::Relaxed);
+                h.dest_nid.store(dest.nid, Ordering::Relaxed);
+                h.dest_pid.store(dest.pid, Ordering::Relaxed);
+                h.init_nid.store(self.inner.src.nid, Ordering::Relaxed);
+                h.init_pid.store(self.inner.src.pid, Ordering::Relaxed);
+                h.token.store(token, Ordering::Relaxed);
+                h.op_id.store(op_id, Ordering::Relaxed);
+                h.vaddr.store(vaddr.0, Ordering::Relaxed);
+                h.total_len.store(data.len() as u64, Ordering::Relaxed);
+                h.offset.store((offset + s) as u64, Ordering::Relaxed);
+                // SAFETY: payload points at this slot's mtu-sized region
+                // and e - s <= mtu.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(data.as_ptr().add(s), payload, e - s);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Claim, fill, publish one request slot; blocks (bounded, liveness-
+    /// checked) while the ring is full — backpressure, never drops.
+    fn push_req(&self, fill: impl FnOnce(&ReqHdr, *mut u8)) -> Result<()> {
+        let inner = &self.inner;
+        let req = inner.req_ring();
+        let hdr = header(&inner.seg);
+        let mut fill = Some(fill);
+        let mut tries = 0u32;
+        loop {
+            if let Some((idx, ticket)) = req.begin_push() {
+                let off = req.slot_off(idx);
+                let h = req_hdr(&inner.seg, off);
+                // SAFETY: in-bounds payload region of the claimed slot.
+                let payload = unsafe { inner.seg.as_ptr().add(off + 8 + REQ_HDR_SIZE) };
+                (fill.take().expect("slot claimed once"))(h, payload);
+                req.publish(idx, ticket);
+                hdr.req_bell.ring();
+                return Ok(());
+            }
+            tries += 1;
+            if tries.is_multiple_of(1024) {
+                if inner.server_dead() {
+                    inner.fail_all_pending();
+                    return Err(RvmaError::TransportFailed(
+                        "server process gone (request ring stalled)".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Drain barrier: blocks until every previously submitted fragment
+    /// reached its final disposition at the server — including link-level
+    /// retransmissions parked in the server's deferred queue, which hold
+    /// the ack back (see the module docs). Errors if the server dies.
+    pub fn flush(&self) -> Result<()> {
+        let mut token = self.inner.next_flush.fetch_add(1, Ordering::Relaxed) + 1;
+        if token == 0 {
+            token = self.inner.next_flush.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        self.push_req(|h, _payload| {
+            h.kind.store(REQ_FLUSH, Ordering::Relaxed);
+            h.len.store(0, Ordering::Relaxed);
+            h.token.store(token, Ordering::Relaxed);
+        })?;
+        let mut fs = self.inner.flush_state.lock();
+        loop {
+            if fs.acked.remove(&token) {
+                return Ok(());
+            }
+            if fs.dead {
+                return Err(RvmaError::TransportFailed(
+                    "server process gone (flush never acked)".into(),
+                ));
+            }
+            let timed_out = self
+                .inner
+                .flush_cv
+                .wait_until(&mut fs, Instant::now() + Duration::from_millis(100))
+                .timed_out();
+            if timed_out && self.inner.server_dead() {
+                drop(fs);
+                self.inner.fail_all_pending();
+                fs = self.inner.flush_state.lock();
+            }
+        }
+    }
+
+    /// Drain the asynchronously collected NACKs. Complete for everything
+    /// submitted before the last [`flush`](ShmClient::flush): the response
+    /// ring is FIFO, so every NACK of pre-flush traffic lands before the
+    /// flush ack the barrier waited on.
+    pub fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
+        std::mem::take(&mut *self.inner.nacks.lock())
+    }
+}
+
+impl Drop for ShmClient {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Transport for ShmClient {
+    fn backend(&self) -> &'static str {
+        "shm"
+    }
+
+    fn put_at(&self, dest: NodeAddr, vaddr: VirtAddr, offset: usize, data: &[u8]) -> Result<()> {
+        ShmClient::put_at(self, dest, vaddr, offset, data)
+    }
+
+    fn flush(&self) -> Result<()> {
+        ShmClient::flush(self)
+    }
+
+    fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
+        ShmClient::take_nacks(self)
+    }
+}
+
+/// The client's response pump: single consumer of the response ring.
+/// Resolves put-notify countdowns, collects NACKs, releases flush
+/// barriers; on server death it fails everything outstanding so no
+/// future or flush ever hangs on a dead peer.
+fn rsp_pump(inner: Arc<ClientInner>) {
+    let rsp = inner.rsp_ring();
+    let hdr = header(&inner.seg);
+    let mut dead_checks = 0u32;
+    loop {
+        if let Some(idx) = rsp.begin_pop() {
+            let off = rsp.slot_off(idx);
+            let h = rsp_hdr(&inner.seg, off);
+            let msg = RspMsg {
+                kind: h.kind.load(Ordering::Relaxed),
+                token: h.token.load(Ordering::Relaxed),
+                reason: h.reason.load(Ordering::Relaxed),
+                nacked: h.nacked.load(Ordering::Relaxed),
+                vaddr: h.vaddr.load(Ordering::Relaxed),
+            };
+            rsp.release_pop(idx);
+            handle_rsp(&inner, msg);
+            continue;
+        }
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        dead_checks += 1;
+        if dead_checks.is_multiple_of(8) && inner.server_dead() {
+            // Drain what the server managed to push before dying, then
+            // fail the rest.
+            while let Some(idx) = rsp.begin_pop() {
+                let off = rsp.slot_off(idx);
+                let h = rsp_hdr(&inner.seg, off);
+                let msg = RspMsg {
+                    kind: h.kind.load(Ordering::Relaxed),
+                    token: h.token.load(Ordering::Relaxed),
+                    reason: h.reason.load(Ordering::Relaxed),
+                    nacked: h.nacked.load(Ordering::Relaxed),
+                    vaddr: h.vaddr.load(Ordering::Relaxed),
+                };
+                rsp.release_pop(idx);
+                handle_rsp(&inner, msg);
+            }
+            inner.fail_all_pending();
+            break;
+        }
+        let seen = hdr.rsp_bell.prepare();
+        if rsp.can_pop() || inner.stop.load(Ordering::Acquire) {
+            hdr.rsp_bell.cancel();
+            continue;
+        }
+        hdr.rsp_bell.wait(seen, DOORBELL_WAIT);
+    }
+}
+
+fn handle_rsp(inner: &ClientInner, msg: RspMsg) {
+    match msg.kind {
+        RSP_PUT_DONE => {
+            let mut tokens = inner.tokens.lock();
+            if let Some(p) = tokens.get_mut(&msg.token) {
+                p.notify.fragments_done(1, msg.nacked != 0);
+                p.remaining -= 1;
+                if p.remaining == 0 {
+                    tokens.remove(&msg.token);
+                }
+            }
+        }
+        RSP_NACK => {
+            inner
+                .nacks
+                .lock()
+                .push((VirtAddr::new(msg.vaddr), decode_nack(msg.reason)));
+        }
+        RSP_FLUSH_ACK => {
+            let mut fs = inner.flush_state.lock();
+            fs.acked.insert(msg.token);
+            drop(fs);
+            inner.flush_cv.notify_all();
+        }
+        _ => {}
+    }
+}
+
+/// Server + client halves over one real segment in a single process — the
+/// unit-test/bench harness shape (the conformance suite additionally runs
+/// the client in a forked child process; the wire protocol is identical).
+pub fn shm_pair(
+    mtu: usize,
+    config: EndpointConfig,
+    src: NodeAddr,
+) -> Result<(ShmServer, ShmClient)> {
+    let server = ShmServer::create_default(mtu, config)?;
+    let telemetry = server.telemetry();
+    let client = ShmClient::connect_with(server.path(), src, telemetry)?;
+    Ok((server, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Threshold;
+    use crate::shm::shm_supported;
+
+    const SERVER: NodeAddr = NodeAddr::node(0);
+    const CLIENT: NodeAddr = NodeAddr::node(1);
+
+    #[test]
+    fn geometry_is_consistent_and_aligned() {
+        let g = SegGeometry::new(2048, 1024, 512);
+        assert_eq!(g.req_base % 64, 0);
+        assert_eq!(g.rsp_base % 64, 0);
+        assert_eq!(g.req_stride % 64, 0);
+        assert!(g.req_stride >= 8 + REQ_HDR_SIZE + 2048);
+        assert!(g.total >= g.rsp_base + 512 * g.rsp_stride);
+        assert_eq!(std::mem::size_of::<ReqHdr>(), REQ_HDR_SIZE);
+        assert_eq!(std::mem::size_of::<RspHdr>(), RSP_HDR_SIZE);
+        assert!(std::mem::size_of::<SegHeader>() <= HDR_SPACE);
+        assert_eq!(std::mem::size_of::<RingCtrl>(), CTRL_SPACE);
+    }
+
+    #[test]
+    fn pair_roundtrip_multi_fragment_put() {
+        if !shm_supported() {
+            return;
+        }
+        let (server, client) = shm_pair(64, EndpointConfig::default(), CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let win = ep
+            .init_window(VirtAddr::new(0x10), Threshold::bytes(1000))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; 1000]).unwrap();
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        client.put(SERVER, VirtAddr::new(0x10), &payload).unwrap();
+        let buf = note
+            .wait_timeout(Duration::from_secs(10))
+            .expect("epoch completes across the segment");
+        assert_eq!(buf.data(), &payload[..], "byte-exact delivery");
+    }
+
+    #[test]
+    fn put_notify_resolves_including_zero_length() {
+        if !shm_supported() {
+            return;
+        }
+        let (server, client) = shm_pair(128, EndpointConfig::default(), CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let win = ep
+            .init_window(VirtAddr::new(0x20), Threshold::ops(2))
+            .unwrap();
+        let _note = win.post_buffer(vec![0u8; 256]).unwrap();
+        let f1 = client
+            .put_notify(SERVER, VirtAddr::new(0x20), &[7u8; 200])
+            .unwrap();
+        // Zero-length put: no wire payload, but the future must resolve.
+        let f2 = client.put_notify(SERVER, VirtAddr::new(0x20), &[]).unwrap();
+        let d1 = pollster::block_on(f1);
+        let d2 = pollster::block_on(f2);
+        assert_eq!(d1.fragments, 2);
+        assert!(!d1.nacked);
+        assert_eq!(d2.fragments, 1);
+        assert!(!d2.nacked);
+    }
+
+    #[test]
+    fn nacks_cross_the_segment() {
+        if !shm_supported() {
+            return;
+        }
+        let (server, client) = shm_pair(64, EndpointConfig::default(), CLIENT).unwrap();
+        let _ep = server.add_endpoint(SERVER);
+        // No mailbox at this vaddr → NoSuchMailbox NACK back to the client.
+        client
+            .put(SERVER, VirtAddr::new(0x999), &[1, 2, 3])
+            .unwrap();
+        client.flush().unwrap();
+        let nacks = client.take_nacks();
+        assert_eq!(nacks.len(), 1);
+        assert_eq!(nacks[0], (VirtAddr::new(0x999), NackReason::NoSuchMailbox));
+    }
+
+    #[test]
+    fn flush_holds_for_parked_retries() {
+        if !shm_supported() {
+            return;
+        }
+        let cfg = EndpointConfig {
+            dedup_window: 1 << 12,
+            fault_model: crate::retry::FaultModel {
+                drop_p: 0.3,
+                ..crate::retry::FaultModel::NONE
+            },
+            fault_seed: 0xF00D,
+            ..Default::default()
+        };
+        let (server, client) = shm_pair(32, cfg, CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let win = ep
+            .init_window(VirtAddr::new(0x30), Threshold::bytes(4096))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; 4096]).unwrap();
+        client
+            .put(SERVER, VirtAddr::new(0x30), &[0xAB; 4096])
+            .unwrap();
+        // The barrier must cover the fault layer's parked retransmissions:
+        // after it, the epoch is complete without any further waiting.
+        client.flush().unwrap();
+        let buf = note.poll().expect("flush drained every retransmission");
+        assert!(buf.data().iter().all(|&b| b == 0xAB));
+        let stats = server.fault_stats().unwrap();
+        assert!(stats.dropped() > 0, "fault model actually fired");
+        assert_eq!(server.pending_retries(), 0);
+    }
+
+    #[test]
+    fn server_drop_fails_client_cleanly() {
+        if !shm_supported() {
+            return;
+        }
+        let (server, client) = shm_pair(64, EndpointConfig::default(), CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let win = ep
+            .init_window(VirtAddr::new(0x40), Threshold::ops(1))
+            .unwrap();
+        let _n = win.post_buffer(vec![0u8; 64]).unwrap();
+        client.put(SERVER, VirtAddr::new(0x40), &[1u8; 64]).unwrap();
+        client.flush().unwrap();
+        drop(server);
+        // New work against a gone server errors instead of hanging.
+        let err = client.flush();
+        assert!(matches!(err, Err(RvmaError::TransportFailed(_))));
+    }
+}

@@ -173,7 +173,7 @@ pub(crate) struct PutNotify {
 }
 
 impl PutNotify {
-    fn new(fragments: u64) -> Arc<PutNotify> {
+    pub(crate) fn new(fragments: u64) -> Arc<PutNotify> {
         debug_assert!(fragments > 0);
         Arc::new(PutNotify {
             remaining: AtomicU64::new(fragments),
@@ -185,7 +185,7 @@ impl PutNotify {
 
     /// `n` fragments reached their final disposition (0 is a no-op used by
     /// batch passes whose every fragment was re-enqueued for retry).
-    fn fragments_done(&self, n: u64, any_nacked: bool) {
+    pub(crate) fn fragments_done(&self, n: u64, any_nacked: bool) {
         if any_nacked {
             self.nacked.store(true, Ordering::SeqCst);
         }
@@ -228,6 +228,13 @@ pub struct PutFuture {
 }
 
 impl PutFuture {
+    /// Wrap a delivery countdown shared with a transport backend (the
+    /// threaded workers decrement it in-process; the shm client's response
+    /// pump decrements it from cross-process acks).
+    pub(crate) fn from_notify(notify: Arc<PutNotify>, fragments: u64) -> PutFuture {
+        PutFuture { notify, fragments }
+    }
+
     /// True once delivery finished (the future would resolve immediately).
     pub fn is_done(&self) -> bool {
         self.notify.done.load(Ordering::SeqCst)
@@ -584,6 +591,27 @@ fn deliver_many(
 /// A retried message has been fully processed: release its slot in the
 /// pending-retry count `quiesce` waits on.
 #[inline]
+/// The quiesce barrier shared by [`AsyncNetwork::quiesce`] and the
+/// initiator-side [`Transport::flush`]: broadcast a flush marker to every
+/// worker ring, wait for all acks, and repeat while any link-level
+/// retransmission is still pending (a faulted fragment's retries land
+/// behind the first barrier).
+fn quiesce_shared(shared: &Shared) {
+    loop {
+        let acks = Arc::new(AtomicUsize::new(0));
+        for q in &shared.queues {
+            let _ = q.push(WireMsg::Flush { acks: acks.clone() });
+        }
+        while acks.load(Ordering::Acquire) < shared.queues.len() {
+            std::thread::yield_now();
+        }
+        match &shared.faults {
+            Some(plan) if plan.pending_retries.load(Ordering::Acquire) > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
 fn finish_retry(faults: Option<&FaultPlan>, attempt: u32) {
     if attempt > 0 {
         if let Some(plan) = faults {
@@ -1053,19 +1081,7 @@ impl AsyncNetwork {
     /// non-zero from before each re-enqueue until the retried copy is
     /// fully processed) proves they are done.
     pub fn quiesce(&self) {
-        loop {
-            let acks = Arc::new(AtomicUsize::new(0));
-            for q in &self.shared.queues {
-                let _ = q.push(WireMsg::Flush { acks: acks.clone() });
-            }
-            while acks.load(Ordering::Acquire) < self.shared.queues.len() {
-                std::thread::yield_now();
-            }
-            match &self.shared.faults {
-                Some(plan) if plan.pending_retries.load(Ordering::Acquire) > 0 => continue,
-                _ => break,
-            }
-        }
+        quiesce_shared(&self.shared);
     }
 
     /// The network-wide fault counters, when fault injection is active.
@@ -1424,6 +1440,25 @@ impl AsyncInitiator {
     /// Payload-pool counters (hits reuse a retired allocation).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+}
+
+impl crate::transport::Transport for AsyncInitiator {
+    fn backend(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn put_at(&self, dest: NodeAddr, vaddr: VirtAddr, offset: usize, data: &[u8]) -> Result<()> {
+        AsyncInitiator::put_at(self, dest, vaddr, offset, data)
+    }
+
+    fn flush(&self) -> Result<()> {
+        quiesce_shared(&self.shared);
+        Ok(())
+    }
+
+    fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
+        AsyncInitiator::take_nacks(self)
     }
 }
 

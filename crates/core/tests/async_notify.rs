@@ -350,3 +350,43 @@ fn blocking_and_async_paths_coexist_on_one_window() {
     assert_eq!(n, 1);
     assert_eq!(out[0].buffer.data(), &[3u8; 8]);
 }
+
+#[test]
+fn zero_length_put_notify_resolves_on_threaded_path() {
+    // Audit regression (no-wire-payload puts): a zero-length put must
+    // still count as one fragment so the PutFuture countdown reaches its
+    // final disposition instead of hanging at a zero-initialised counter.
+    let net = AsyncNetwork::default_network();
+    let server = net.add_endpoint(NodeAddr::node(1));
+    let client = net.initiator(NodeAddr::node(2));
+    let win = server
+        .init_window(VirtAddr::new(0x60), Threshold::ops(2))
+        .unwrap();
+    let _note = win.post_buffer(vec![0u8; 64]).unwrap();
+    let empty = client
+        .put_notify(NodeAddr::node(1), VirtAddr::new(0x60), &[])
+        .unwrap();
+    let done = block_on(empty);
+    assert_eq!(done.fragments, 1, "empty put is one counted wire fragment");
+    assert!(!done.nacked);
+    // And it participates in op-counted thresholds like any other put.
+    let second = client
+        .put_notify(NodeAddr::node(1), VirtAddr::new(0x60), &[3u8; 16])
+        .unwrap();
+    assert!(!block_on(second).nacked);
+}
+
+#[test]
+fn zero_length_put_notify_nack_resolves_too() {
+    // The other disposition: an empty put at an unbound mailbox must
+    // resolve (as NACKed), not strand the future.
+    let net = AsyncNetwork::default_network();
+    let _server = net.add_endpoint(NodeAddr::node(1));
+    let client = net.initiator(NodeAddr::node(2));
+    let fut = client
+        .put_notify(NodeAddr::node(1), VirtAddr::new(0x61), &[])
+        .unwrap();
+    let done = block_on(fut);
+    assert_eq!(done.fragments, 1);
+    assert!(done.nacked, "unbound mailbox NACKs the empty put");
+}

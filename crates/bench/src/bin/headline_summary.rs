@@ -126,6 +126,133 @@ fn async_counters() -> Vec<Vec<String>> {
     ]
 }
 
+/// Large-message lane summary: 256 KiB puts, forced-fragmentation vs the
+/// zero-copy/rendezvous lane, on the threaded and shared-memory
+/// transports. Goodput from a byte-threshold epoch covering the run;
+/// copies-per-byte from live counters (initiator staging
+/// [`rvma_core::Transport::staged_bytes`] + shm slot-pop staging +
+/// receiver gather, over bytes accepted). The shm half runs in-process
+/// (`shm_pair`) so the client-side counters are directly observable.
+fn bulk_lane_rows() -> Vec<Vec<String>> {
+    use rvma_core::{shm_pair, shm_supported, Bytes, Transport};
+
+    const SIZE: usize = 256 << 10;
+    const PUTS: usize = 32;
+    const MTU: usize = 4096;
+    let mailbox = VirtAddr::new(0x10);
+    let total = (PUTS * SIZE) as u64;
+
+    let mut rows = Vec::new();
+    for backend in ["threaded", "shm"] {
+        if backend == "shm" && !shm_supported() {
+            continue;
+        }
+        for (lane, threshold) in [("frag", usize::MAX), ("zerocopy", 0usize)] {
+            let cfg = EndpointConfig {
+                eager_threshold: threshold,
+                ..EndpointConfig::default()
+            };
+            if backend == "shm" && lane == "zerocopy" {
+                // The shm zero-copy lane is the registered-extent path:
+                // payload written once into a small ring of reserved
+                // extents, every put a bare RTS descriptor (see
+                // `bulk_bw`). staged_bytes stays 0 by measurement, not
+                // by construction.
+                let (server, client) = shm_pair(MTU, cfg, NodeAddr::node(1)).expect("shm pair");
+                let ep = server.add_endpoint(NodeAddr::node(0));
+                let win = ep
+                    .init_window(mailbox, Threshold::bytes(total))
+                    .expect("window");
+                let mut note = win.post_buffer(vec![0u8; total as usize]).expect("post");
+                let mut ring: Vec<_> = (0..8)
+                    .map(|_| {
+                        let mut ext = client.reserve_extent(SIZE).expect("bulk region");
+                        ext.as_mut_slice().fill(0xB5);
+                        ext
+                    })
+                    .collect();
+                let start = std::time::Instant::now();
+                let mut k = 0;
+                while k < PUTS {
+                    let burst = ring.len().min(PUTS - k);
+                    for ext in ring.iter().take(burst) {
+                        // The flush barrier is the completion signal.
+                        drop(
+                            client
+                                .put_from_extent(ext, NodeAddr::node(0), mailbox, k * SIZE)
+                                .expect("put"),
+                        );
+                        k += 1;
+                    }
+                    client.flush().expect("flush");
+                }
+                note.wait();
+                let elapsed = start.elapsed();
+                let stats = ep.stats();
+                let copies = (client.staged_bytes() + server.wire_copied() + stats.bytes_copied)
+                    as f64
+                    / stats.bytes_accepted as f64;
+                ring.clear();
+                rows.push(vec![
+                    backend.into(),
+                    lane.into(),
+                    format!("{:.0}", total as f64 / elapsed.as_secs_f64() / 1e6),
+                    format!("{copies:.2}"),
+                ]);
+                continue;
+            }
+            let (holder_net, holder_shm, ep, t): (
+                Option<AsyncNetwork>,
+                Option<rvma_core::ShmServer>,
+                _,
+                Box<dyn Transport>,
+            ) = match backend {
+                "threaded" => {
+                    let net = AsyncNetwork::for_endpoint_config(
+                        MTU,
+                        DeliveryOrder::InOrder,
+                        Duration::ZERO,
+                        &cfg,
+                    );
+                    let ep = net.add_endpoint(NodeAddr::node(0));
+                    let t: Box<dyn Transport> = Box::new(net.initiator(NodeAddr::node(1)));
+                    (Some(net), None, ep, t)
+                }
+                _ => {
+                    let (server, client) = shm_pair(MTU, cfg, NodeAddr::node(1)).expect("shm pair");
+                    let ep = server.add_endpoint(NodeAddr::node(0));
+                    (None, Some(server), ep, Box::new(client))
+                }
+            };
+            let win = ep
+                .init_window(mailbox, Threshold::bytes(total))
+                .expect("window");
+            let mut note = win.post_buffer(vec![0u8; total as usize]).expect("post");
+            let payload = Bytes::from(vec![0xB5u8; SIZE]);
+            let start = std::time::Instant::now();
+            for k in 0..PUTS {
+                t.put_bytes_at(NodeAddr::node(0), mailbox, k * SIZE, payload.clone())
+                    .expect("put");
+            }
+            t.flush().expect("flush");
+            note.wait();
+            let elapsed = start.elapsed();
+            drop(holder_net);
+            let stats = ep.stats();
+            let wire = holder_shm.as_ref().map_or(0, |s| s.wire_copied());
+            let copies =
+                (t.staged_bytes() + wire + stats.bytes_copied) as f64 / stats.bytes_accepted as f64;
+            rows.push(vec![
+                backend.into(),
+                lane.into(),
+                format!("{:.0}", total as f64 / elapsed.as_secs_f64() / 1e6),
+                format!("{copies:.2}"),
+            ]);
+        }
+    }
+    rows
+}
+
 /// Render nanoseconds compactly (ns below 10 µs, µs above).
 fn fmt_ns(ns: u64) -> String {
     if ns < 10_000 {
@@ -268,6 +395,14 @@ fn main() {
 
     println!("\nasync completion counters (CQ burst + Future/Waker completions):\n");
     print_table(&["counter", "value"], &async_counters());
+
+    println!(
+        "\nlarge-message lanes (256 KiB puts, forced-fragmentation vs zero-copy/rendezvous):\n"
+    );
+    print_table(
+        &["backend", "lane", "goodput_MBps", "copies_per_byte"],
+        &bulk_lane_rows(),
+    );
 
     let (spans, counts) = telemetry_histograms();
     println!("\nput lifecycle latency histograms (telemetry-enabled incast burst):\n");

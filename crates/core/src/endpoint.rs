@@ -124,6 +124,20 @@ pub struct EndpointConfig {
     /// Capacity of the shared-memory transport's response ring (delivery
     /// acks, NACKs, flush acks flowing receiver → initiator).
     pub shm_rsp_slots: usize,
+    /// Largest put (bytes) that still takes the **eager** fragment path:
+    /// the initiator stages a private copy of the payload and ships it in
+    /// MTU-sized fragments. Anything larger switches to the zero-copy
+    /// lane — shared-`Bytes` slices on the in-process transports, the
+    /// bulk-region rendezvous handshake on the shared-memory transport
+    /// (see DESIGN.md §13). `0` forces every non-empty put zero-copy;
+    /// `usize::MAX` forces every put eager (the A/B baseline).
+    pub eager_threshold: usize,
+    /// Size (bytes) of the shared-memory transport's bulk data region,
+    /// the segment area rendezvous puts stage their payload in (rounded
+    /// down to a power of two; `0` disables the rendezvous lane
+    /// entirely). When the region is exhausted, large puts fall back to
+    /// the eager fragment path — progress is never blocked on an extent.
+    pub shm_bulk_bytes: usize,
 }
 
 /// Default idle spin budget of a wire worker (see
@@ -153,9 +167,21 @@ impl Default for EndpointConfig {
             telemetry: false,
             shm_req_slots: DEFAULT_SHM_REQ_SLOTS,
             shm_rsp_slots: DEFAULT_SHM_RSP_SLOTS,
+            eager_threshold: DEFAULT_EAGER_THRESHOLD,
+            shm_bulk_bytes: DEFAULT_SHM_BULK_BYTES,
         }
     }
 }
+
+/// Default eager/rendezvous switch point (see
+/// [`EndpointConfig::eager_threshold`]): four default MTUs, so chatty
+/// small-message traffic keeps the pooled fragment path while anything
+/// that would fragment heavily goes zero-copy.
+pub const DEFAULT_EAGER_THRESHOLD: usize = 8192;
+
+/// Default bulk-region size of the shared-memory transport (see
+/// [`EndpointConfig::shm_bulk_bytes`]).
+pub const DEFAULT_SHM_BULK_BYTES: usize = 8 << 20;
 
 /// Default request-ring capacity of the shared-memory transport (see
 /// [`EndpointConfig::shm_req_slots`]).
@@ -173,6 +199,12 @@ pub struct EndpointStats {
     pub fragments_accepted: AtomicU64,
     /// Payload bytes written into buffers.
     pub bytes_accepted: AtomicU64,
+    /// Payload bytes memcpy'd into posted buffers — the receiver-side
+    /// gather, which is the *only* copy on the zero-copy lanes. Divide by
+    /// `bytes_accepted` (and add the transport's
+    /// [`staged_bytes`](crate::transport::Transport::staged_bytes)) to get
+    /// copies-per-delivered-byte.
+    pub bytes_copied: AtomicU64,
     /// Fragments discarded (closed window / no mailbox / no buffer / bounds).
     pub fragments_discarded: AtomicU64,
     /// NACKs that were (or would be) sent to initiators.
@@ -201,6 +233,8 @@ pub struct StatsSnapshot {
     pub fragments_accepted: u64,
     /// Payload bytes written into buffers.
     pub bytes_accepted: u64,
+    /// Payload bytes memcpy'd into posted buffers (the receiver gather).
+    pub bytes_copied: u64,
     /// Fragments discarded.
     pub fragments_discarded: u64,
     /// NACKs sent (or suppressed-but-counted when disabled: 0).
@@ -238,6 +272,7 @@ impl EndpointStats {
         StatsSnapshot {
             fragments_accepted: self.fragments_accepted.load(Ordering::Relaxed),
             bytes_accepted: self.bytes_accepted.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             fragments_discarded: self.fragments_discarded.load(Ordering::Relaxed),
             nacks: self.nacks.load(Ordering::Relaxed),
             epochs_completed: self.epochs_completed.load(Ordering::Relaxed),
@@ -316,6 +351,7 @@ impl BatchCounters {
         let pairs = [
             (&stats.fragments_accepted, self.frags_accepted),
             (&stats.bytes_accepted, self.bytes_accepted),
+            (&stats.bytes_copied, self.bytes_accepted),
             (&stats.fragments_discarded, self.discarded),
             (&stats.nacks, self.nacks),
             (&stats.lut_hits, self.lut_hits),
@@ -473,8 +509,36 @@ impl RvmaEndpoint {
     /// the reservation (`Mailbox::deliver_finish`). Concurrent fragments
     /// for the same mailbox therefore overlap their copies.
     pub fn deliver(&self, frag: &Fragment) -> DeliverResult {
+        self.deliver_slice(
+            frag.initiator,
+            frag.op_id,
+            frag.dst_vaddr,
+            frag.op_total_len,
+            frag.offset,
+            &frag.data,
+        )
+    }
+
+    /// [`deliver`](Self::deliver) over a borrowed payload slice — the
+    /// rendezvous gather path: the shared-memory server points this at
+    /// the initiator's bulk extent and the payload lands in the posted
+    /// buffer with **one** copy and no intermediate `Bytes` allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deliver_slice(
+        &self,
+        initiator: NodeAddr,
+        op_id: u64,
+        dst_vaddr: VirtAddr,
+        op_total_len: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> DeliverResult {
+        let key = OpKey {
+            op_id,
+            initiator: ((initiator.nid as u64) << 32) | initiator.pid as u64,
+        };
         // Single-lookup translation, with optional catch-all redirect.
-        let mailbox = match self.lut.lookup(frag.dst_vaddr) {
+        let mailbox = match self.lut.lookup(dst_vaddr) {
             Some(m) => {
                 self.stats.lut_hits.fetch_add(1, Ordering::Relaxed);
                 Some(m)
@@ -490,19 +554,14 @@ impl RvmaEndpoint {
 
         let outcome = loop {
             let mut mb = mailbox.lock();
-            match mb.deliver_begin(
-                frag.op_key(),
-                frag.op_total_len,
-                frag.offset,
-                frag.data.len(),
-            ) {
+            match mb.deliver_begin(key, op_total_len, offset, data.len()) {
                 BeginOutcome::Done(outcome) => break outcome,
                 BeginOutcome::Reserved(reservation) => {
                     drop(mb);
                     // SAFETY: the mailbox guarantees exclusive ownership of
                     // the reserved range until `deliver_finish`, and keeps
                     // the allocation alive while any writer is in flight.
-                    unsafe { reservation.fill(&frag.data) };
+                    unsafe { reservation.fill(data) };
                     break mailbox.lock().deliver_finish(reservation);
                 }
                 BeginOutcome::Contended => {
@@ -517,7 +576,7 @@ impl RvmaEndpoint {
         };
         match outcome {
             DeliveryOutcome::Accepted => {
-                self.count_accept(frag);
+                self.count_accept(data.len());
                 DeliverResult::Ok {
                     completed_epoch: false,
                 }
@@ -525,7 +584,7 @@ impl RvmaEndpoint {
             DeliveryOutcome::Completed => {
                 // The mailbox already counted the epoch (pre-completion,
                 // so it is visible to whoever the completing write wakes).
-                self.count_accept(frag);
+                self.count_accept(data.len());
                 DeliverResult::Ok {
                     completed_epoch: true,
                 }
@@ -682,13 +741,16 @@ impl RvmaEndpoint {
         }
     }
 
-    fn count_accept(&self, frag: &Fragment) {
+    fn count_accept(&self, len: usize) {
         self.stats
             .fragments_accepted
             .fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_accepted
-            .fetch_add(frag.data.len() as u64, Ordering::Relaxed);
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_copied
+            .fetch_add(len as u64, Ordering::Relaxed);
     }
 
     fn discard(&self, reason: NackReason) -> DeliverResult {

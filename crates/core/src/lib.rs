@@ -75,10 +75,12 @@ pub mod window;
 
 pub use addr::{NodeAddr, VirtAddr};
 pub use buffer::{CompletedBuffer, EpochType, Threshold};
+pub use bytes::Bytes;
 pub use cq::{CompletionQueue, CqCompletion, CqStats};
 pub use endpoint::{
-    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_SHM_REQ_SLOTS,
-    DEFAULT_SHM_RSP_SLOTS, DEFAULT_WIRE_IDLE_SPINS, DEFAULT_WIRE_IDLE_YIELDS,
+    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, StatsSnapshot, DEFAULT_EAGER_THRESHOLD,
+    DEFAULT_SHM_BULK_BYTES, DEFAULT_SHM_REQ_SLOTS, DEFAULT_SHM_RSP_SLOTS, DEFAULT_WIRE_IDLE_SPINS,
+    DEFAULT_WIRE_IDLE_YIELDS,
 };
 pub use error::{NackReason, Result, RvmaError};
 pub use lut::LUT_SHARDS;
@@ -101,7 +103,7 @@ pub use transport::{DeliveryOrder, Initiator, LoopbackNetwork, PutResult, Transp
 pub use transport_lossy::{
     FaultModel, InlineChannel, LossyInitiator, LossyNetwork, TransmitOutcome,
 };
-pub use transport_shm::{shm_pair, ShmClient, ShmServer};
+pub use transport_shm::{shm_pair, BulkExtent, BulkStats, ShmClient, ShmServer};
 pub use transport_threaded::{
     AsyncInitiator, AsyncNetwork, PutBatch, PutDelivery, PutFuture, RouteStats,
     DEFAULT_DOORBELL_FRAGS,

@@ -37,12 +37,19 @@ use std::sync::Arc;
 /// buffers drop. Epoch buffers are large, so the cap is kept tight.
 pub const MAX_SHELF: usize = 64;
 
-/// Maximum allocations a [`PayloadPool`] retains. Payload classes are
-/// small (a few KiB at most) and the shelf only grows on a miss, so it
-/// converges to the initiator's peak number of in-flight fragments; the
-/// cap must exceed a deep submission pipeline or every acquire under load
-/// degenerates to probe-then-allocate.
+/// Maximum entries one size class of a [`PayloadPool`] retains (small
+/// classes; large classes are further bounded by
+/// [`PAYLOAD_SHELF_BYTES`]). The shelf only grows on a miss, so each
+/// class converges to the initiator's peak number of in-flight payloads
+/// of that size; the cap must exceed a deep submission pipeline or every
+/// acquire under load degenerates to probe-then-allocate.
 pub const PAYLOAD_SHELF: usize = 2048;
+
+/// Per-class retained-byte budget of a [`PayloadPool`]: a class of size
+/// `c` shelves at most `PAYLOAD_SHELF_BYTES / c` entries (min 4), so the
+/// large classes added for the zero-copy/bulk datapath cannot pin
+/// unbounded memory.
+pub const PAYLOAD_SHELF_BYTES: usize = 4 << 20;
 
 /// Smallest payload allocation class (bytes). Small puts share one class so
 /// a 32 B and a 56 B put reuse the same shelf entries. (Payloads at or
@@ -50,10 +57,18 @@ pub const PAYLOAD_SHELF: usize = 2048;
 /// inline in the `Bytes` handle.)
 const MIN_CLASS: usize = 64;
 
+/// Largest pooled allocation class (bytes). Requests beyond it bypass the
+/// shelf entirely: they allocate exact-class storage, are counted as
+/// misses, and are never retained — a multi-MiB one-off must not evict a
+/// working set of small classes (and the zero-copy lane means such
+/// payloads normally never reach the pool at all).
+pub const MAX_POOLED_CLASS: usize = 1 << 20;
+
 /// Shelf entries probed per [`PayloadPool::acquire`]. Bounded so a deep
 /// submission pipeline (every shelved allocation still in flight) costs a
-/// few refcount checks per put, not a full shelf scan; the rotating cursor
-/// spreads the probes so freed entries are still found promptly.
+/// few refcount checks per put, not a full class scan; the per-class
+/// rotating cursor spreads the probes so freed entries are still found
+/// promptly.
 const MAX_PROBES: usize = 8;
 
 /// Point-in-time counters of a pool.
@@ -99,12 +114,54 @@ pub struct PayloadPool {
     inline: AtomicU64,
 }
 
+/// Number of power-of-two classes between [`MIN_CLASS`] and
+/// [`MAX_POOLED_CLASS`], inclusive.
+const NUM_CLASSES: usize =
+    (MAX_POOLED_CLASS.trailing_zeros() - MIN_CLASS.trailing_zeros() + 1) as usize;
+
+/// Class index of a payload length, or `None` when it exceeds
+/// [`MAX_POOLED_CLASS`] (the shelf bypass).
+fn class_index(len: usize) -> Option<usize> {
+    let class = len.next_power_of_two().max(MIN_CLASS);
+    if class > MAX_POOLED_CLASS {
+        None
+    } else {
+        Some((class.trailing_zeros() - MIN_CLASS.trailing_zeros()) as usize)
+    }
+}
+
+/// Entry cap of one class: [`PAYLOAD_SHELF`] for small classes, tightened
+/// to the [`PAYLOAD_SHELF_BYTES`] byte budget for large ones (min 4 so a
+/// steady large-put pipeline still pools).
+fn class_cap(class_size: usize) -> usize {
+    (PAYLOAD_SHELF_BYTES / class_size).clamp(4, PAYLOAD_SHELF)
+}
+
+/// One size class of the shelf: same-capacity entries plus a rotating
+/// probe cursor so consecutive acquires don't re-check the same
+/// in-flight entries.
 #[derive(Debug, Default)]
-struct PayloadShelf {
+struct ClassShelf {
     entries: Vec<Arc<[u8]>>,
-    /// Rotating probe start so consecutive acquires don't re-check the
-    /// same in-flight entries.
     cursor: usize,
+}
+
+#[derive(Debug)]
+struct PayloadShelf {
+    /// Per-class buckets, indexed by [`class_index`]. Size-classing is
+    /// what makes large requests poolable: under the old single shelf, a
+    /// bounded probe walk over a working set of small entries never
+    /// reached an allocation big enough for a multi-KiB put, so every
+    /// large acquire silently missed.
+    classes: [ClassShelf; NUM_CLASSES],
+}
+
+impl Default for PayloadShelf {
+    fn default() -> Self {
+        PayloadShelf {
+            classes: std::array::from_fn(|_| ClassShelf::default()),
+        }
+    }
 }
 
 impl PayloadPool {
@@ -124,38 +181,45 @@ impl PayloadPool {
             }
             return Bytes::copy_from_slice(data);
         }
+        let class = data.len().next_power_of_two().max(MIN_CLASS);
+        let Some(ci) = class_index(data.len()) else {
+            // Beyond the largest pooled class: exact-class allocation,
+            // never shelved (documented bypass — see MAX_POOLED_CLASS).
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return fresh(class, data);
+        };
         let mut shelf = self.shelf.lock();
-        let n = shelf.entries.len();
-        let start = shelf.cursor;
+        let bucket = &mut shelf.classes[ci];
+        let n = bucket.entries.len();
+        let start = bucket.cursor;
         for p in 0..n.min(MAX_PROBES) {
             let i = (start + p) % n;
-            let arc = &mut shelf.entries[i];
-            if arc.len() < data.len() {
-                continue;
-            }
+            let arc = &mut bucket.entries[i];
             // Unique means no in-flight fragment still references it: the
             // shelf holds the only count, so overwriting is race-free.
+            // Every entry in the bucket has exactly `class` capacity, so
+            // uniqueness is the only thing probed for.
             if let Some(buf) = Arc::get_mut(arc) {
                 buf[..data.len()].copy_from_slice(data);
                 let out = Bytes::from_shared(arc.clone(), data.len());
-                shelf.cursor = (i + 1) % n;
+                bucket.cursor = (i + 1) % n;
                 drop(shelf);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return out;
             }
         }
         if n > 0 {
-            shelf.cursor = (start + n.min(MAX_PROBES)) % n;
+            bucket.cursor = (start + n.min(MAX_PROBES)) % n;
         }
-        // Miss: allocate a class-sized buffer so differently-sized puts can
-        // share shelf entries, copy, and shelve it (bounded).
-        let class = data.len().next_power_of_two().max(MIN_CLASS);
+        // Miss: allocate a class-sized buffer so differently-sized puts
+        // can share the bucket's entries, copy, and shelve it (bounded
+        // per class).
         let mut arc: Arc<[u8]> = Arc::from(vec![0u8; class]);
         Arc::get_mut(&mut arc).expect("fresh allocation is unique")[..data.len()]
             .copy_from_slice(data);
         let out = Bytes::from_shared(arc.clone(), data.len());
-        if shelf.entries.len() < PAYLOAD_SHELF {
-            shelf.entries.push(arc);
+        if bucket.entries.len() < class_cap(class) {
+            bucket.entries.push(arc);
         }
         drop(shelf);
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -168,9 +232,22 @@ impl PayloadPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inline: self.inline.load(Ordering::Relaxed),
-            shelved: self.shelf.lock().entries.len(),
+            shelved: self
+                .shelf
+                .lock()
+                .classes
+                .iter()
+                .map(|c| c.entries.len())
+                .sum(),
         }
     }
+}
+
+/// An unshelved exact-class allocation holding a copy of `data`.
+fn fresh(class: usize, data: &[u8]) -> Bytes {
+    let mut arc: Arc<[u8]> = Arc::from(vec![0u8; class]);
+    Arc::get_mut(&mut arc).expect("fresh allocation is unique")[..data.len()].copy_from_slice(data);
+    Bytes::from_shared(arc, data.len())
 }
 
 /// Recycles the `Vec<u8>` allocations backing receiver epoch buffers.
@@ -287,6 +364,46 @@ mod tests {
         drop(pool.acquire(&[6; bytes::INLINE_CAP + 1]));
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(pool.stats().shelved, 1);
+    }
+
+    #[test]
+    fn payload_pool_large_classes_hit_despite_small_traffic() {
+        let pool = PayloadPool::new();
+        // A working set of in-flight small payloads. Under the old
+        // single-shelf rotating cursor, the bounded probe walk only ever
+        // saw these entries, so a larger request could never be satisfied
+        // from the shelf — the regression this test pins.
+        let small: Vec<Bytes> = (0..64).map(|_| pool.acquire(&[1u8; 64])).collect();
+        let big = vec![2u8; 64 * 1024];
+        drop(pool.acquire(&big)); // miss: shelved in the 64 KiB class
+        let b = pool.acquire(&big);
+        assert_eq!(pool.stats().hits, 1, "large class reuses its own bucket");
+        assert_eq!(&b[..], &big[..]);
+        drop(small);
+    }
+
+    #[test]
+    fn payload_pool_oversize_bypasses_shelf() {
+        let pool = PayloadPool::new();
+        let huge = vec![3u8; MAX_POOLED_CLASS + 1];
+        let a = pool.acquire(&huge);
+        drop(a);
+        let b = pool.acquire(&huge);
+        assert_eq!(&b[..], &huge[..]);
+        let s = pool.stats();
+        // Both acquires allocate (documented bypass) and nothing is
+        // retained: a one-off multi-MiB payload must not pin memory.
+        assert_eq!((s.hits, s.misses), (0, 2));
+        assert_eq!(s.shelved, 0);
+    }
+
+    #[test]
+    fn payload_pool_large_class_caps_by_bytes() {
+        // A large class's entry cap comes from the byte budget, not the
+        // global entry cap.
+        assert_eq!(class_cap(MAX_POOLED_CLASS), 4);
+        assert_eq!(class_cap(64), PAYLOAD_SHELF);
+        assert_eq!(class_cap(64 * 1024), PAYLOAD_SHELF_BYTES / (64 * 1024));
     }
 
     #[test]

@@ -429,6 +429,10 @@ pub struct ReliableInitiator {
     src: NodeAddr,
     next_op: AtomicU64,
     retry: RetryConfig,
+    /// Payload bytes copied into staging storage on the eager path; the
+    /// zero-copy lane ([`put_bytes_at`](ReliableInitiator::put_bytes_at)
+    /// above the eager threshold) contributes nothing here.
+    staged: AtomicU64,
 }
 
 impl ReliableInitiator {
@@ -439,6 +443,7 @@ impl ReliableInitiator {
             src,
             next_op: AtomicU64::new(1),
             retry,
+            staged: AtomicU64::new(0),
         }
     }
 
@@ -467,6 +472,45 @@ impl ReliableInitiator {
         offset: usize,
         data: &[u8],
     ) -> Result<PutReport> {
+        self.staged.fetch_add(data.len() as u64, Ordering::Relaxed);
+        let payload = Bytes::copy_from_slice(data);
+        self.put_payload(dest, vaddr, offset, payload)
+    }
+
+    /// Zero-copy reliable `RVMA_Put` of an owned payload. Above the
+    /// network's configured `eager_threshold` the fragments transmitted
+    /// (and retransmitted) are offset/len slices of `data`'s shared
+    /// allocation — no staging copy; the receiver-side gather is the
+    /// put's only copy. At or below the threshold this is exactly
+    /// [`put_at`](ReliableInitiator::put_at).
+    pub fn put_bytes_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<PutReport> {
+        if data.len() <= self.net.endpoint_config().eager_threshold {
+            return self.put_at(dest, vaddr, offset, &data);
+        }
+        self.put_payload(dest, vaddr, offset, data)
+    }
+
+    /// Payload bytes this initiator copied into staging storage so far.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged.load(Ordering::Relaxed)
+    }
+
+    /// The retransmit loop proper, lane-agnostic: fragments are always
+    /// slices of `payload`, whether that is a staged copy (eager) or the
+    /// caller's own allocation (zero-copy).
+    fn put_payload(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        payload: Bytes,
+    ) -> Result<PutReport> {
         if !self.net.has_endpoint(dest) {
             return Err(RvmaError::UnknownDestination);
         }
@@ -478,9 +522,8 @@ impl ReliableInitiator {
             EventKind::Submit,
             src_key,
             op_id,
-            data.len() as u64,
+            payload.len() as u64,
         );
-        let payload = Bytes::copy_from_slice(data);
         let total = payload.len() as u64;
         let mtu = self.net.mtu();
         // A zero-byte put is a single empty fragment (one counted op).

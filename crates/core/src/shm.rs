@@ -269,6 +269,10 @@ pub struct ShmSegment {
 unsafe impl Send for ShmSegment {}
 unsafe impl Sync for ShmSegment {}
 
+/// Smallest page size we might be mapped with; touching at this stride
+/// faults every page even if the kernel uses larger pages.
+const PAGE: usize = 4096;
+
 impl ShmSegment {
     /// Create (exclusively) and map a new zero-filled segment of `len`
     /// bytes at `path`. The segment file is unlinked when this handle
@@ -288,6 +292,16 @@ impl ShmSegment {
         file.set_len(len as u64)
             .map_err(|e| RvmaError::TransportFailed(format!("size {}: {e}", path.display())))?;
         let ptr = Self::map(&file, len, path)?;
+        // Pre-fault every page while the segment is still private to us —
+        // the shared-memory analogue of RDMA memory registration. Without
+        // this the first touch of each tmpfs page takes a kernel fault on
+        // the datapath, which dominates the large-message (bulk-extent)
+        // lane. Write-touching is safe here: the file was created
+        // exclusively and `set_len` guarantees it is all zeros.
+        for off in (0..len).step_by(PAGE) {
+            // SAFETY: `off < len` and the mapping is `len` bytes.
+            unsafe { std::ptr::write_volatile(ptr.add(off), 0) };
+        }
         Ok(ShmSegment {
             ptr,
             len,
@@ -319,6 +333,14 @@ impl ShmSegment {
             )));
         }
         let ptr = Self::map(&file, len, path)?;
+        // Pre-fault this process's page mappings (read-only touch: the
+        // creator owns the contents and may already be publishing data).
+        // The pages themselves exist — the creator write-faulted them —
+        // so this only populates our page tables, off the datapath.
+        for off in (0..len).step_by(PAGE) {
+            // SAFETY: `off < len` and the mapping is `len` bytes.
+            unsafe { std::ptr::read_volatile(ptr.add(off)) };
+        }
         Ok(ShmSegment {
             ptr,
             len,
@@ -332,6 +354,25 @@ impl ShmSegment {
         os::mmap_shared(file.as_raw_fd(), len).map_err(|errno| {
             RvmaError::TransportFailed(format!("mmap {} ({len} B): errno {errno}", path.display()))
         })
+    }
+
+    /// Write-fault the pages of `[off, off + len)` so this process's
+    /// later stores there take no kernel faults (the read-touch in
+    /// [`ShmSegment::open`] installs read-only PTEs; the first store to
+    /// each page would otherwise take a write-protect fault on the
+    /// datapath). Each page's first byte is rewritten with its current
+    /// value, so existing contents survive — only call this on regions
+    /// no *other* process writes concurrently.
+    pub fn prefault_writable(&self, off: usize, len: usize) {
+        let end = off.checked_add(len).expect("prefault range overflow");
+        assert!(end <= self.len, "prefault range outside segment");
+        for page in (off..end).step_by(PAGE) {
+            // SAFETY: `page < self.len`; bytewise volatile read + write.
+            unsafe {
+                let p = self.ptr.add(page);
+                std::ptr::write_volatile(p, std::ptr::read_volatile(p));
+            }
+        }
     }
 
     /// Base address of the mapping.

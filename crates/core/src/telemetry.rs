@@ -98,11 +98,21 @@ pub enum EventKind {
     /// A completion-queue consumer drained a non-empty batch.
     /// `key` = 0, `id` = per-CQ poll sequence, `arg` = batch size.
     CqPoll,
+    /// A rendezvous put reserved a bulk-region extent (initiator side).
+    /// `key`/`id` = initiator/op id, `arg` = payload length.
+    BulkReserve,
+    /// The server gathered a bulk extent straight into the posted buffer
+    /// (one copy). `key`/`id` = initiator/op id, `arg` = payload length.
+    BulkDeliver,
+    /// The extent returned to the free list after the delivery ack
+    /// crossed the response ring. `key`/`id` = initiator/op id,
+    /// `arg` = extent length.
+    BulkRelease,
 }
 
 impl EventKind {
     /// Every kind, in lifecycle order (the order used by per-kind counts).
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Submit,
         EventKind::RingEnqueue,
         EventKind::WireDeliver,
@@ -111,6 +121,9 @@ impl EventKind {
         EventKind::NotifyHandoff,
         EventKind::NotifyWake,
         EventKind::CqPoll,
+        EventKind::BulkReserve,
+        EventKind::BulkDeliver,
+        EventKind::BulkRelease,
     ];
 
     /// Stable snake_case name (JSON keys, trace event names).
@@ -124,6 +137,9 @@ impl EventKind {
             EventKind::NotifyHandoff => "notify_handoff",
             EventKind::NotifyWake => "notify_wake",
             EventKind::CqPoll => "cq_poll",
+            EventKind::BulkReserve => "bulk_reserve",
+            EventKind::BulkDeliver => "bulk_deliver",
+            EventKind::BulkRelease => "bulk_release",
         }
     }
 
@@ -523,8 +539,14 @@ impl TelemetrySnapshot {
                     }
                 }
                 // Counted, no span pairing: wakes share the EpochComplete
-                // timestamp (same funnel), CQ polls are consumer-side.
-                EventKind::NotifyWake | EventKind::CqPoll => {}
+                // timestamp (same funnel), CQ polls are consumer-side, and
+                // the bulk lifecycle is already bracketed by Submit /
+                // WireDeliver on the same (initiator, op) key.
+                EventKind::NotifyWake
+                | EventKind::CqPoll
+                | EventKind::BulkReserve
+                | EventKind::BulkDeliver
+                | EventKind::BulkRelease => {}
             }
         }
         TelemetrySnapshot {

@@ -88,6 +88,35 @@ pub trait Transport: Send + Sync {
         self.put_at(dest, vaddr, 0, data)
     }
 
+    /// `RVMA_Put` of an owned, reference-counted payload.
+    ///
+    /// Puts larger than the backend's configured
+    /// [`eager_threshold`](crate::endpoint::EndpointConfig::eager_threshold)
+    /// take the zero-copy lane: fragments are offset/len slices of this
+    /// shared handle (or, on the shared-memory backend, the payload rides
+    /// a bulk-region extent), so no initiator-side staging copy is made.
+    /// Smaller puts keep the eager fragment path, byte-for-byte identical
+    /// to [`put_at`](Self::put_at). The default implementation *is* the
+    /// eager path — backends without a zero-copy lane stay correct.
+    fn put_bytes_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<()> {
+        self.put_at(dest, vaddr, offset, &data)
+    }
+
+    /// Payload bytes this initiator staged (memcpy'd into a private
+    /// buffer, ring slot, or bulk extent) before handing them to the
+    /// wire. `staged_bytes + endpoint bytes_copied` over
+    /// `bytes_accepted` is the datapath's copies-per-delivered-byte; the
+    /// in-process zero-copy lanes contribute 0 here.
+    fn staged_bytes(&self) -> u64 {
+        0
+    }
+
     /// Block until every previously submitted fragment reached its final
     /// disposition at the target (the quiesce/drain barrier).
     fn flush(&self) -> Result<()>;

@@ -161,6 +161,12 @@ impl LossyNetwork {
         self.mtu
     }
 
+    /// The endpoint configuration this network applies to every endpoint
+    /// it creates (also carries the initiator-side `eager_threshold`).
+    pub fn endpoint_config(&self) -> &EndpointConfig {
+        &self.endpoint_config
+    }
+
     /// The fault model in force.
     pub fn model(&self) -> FaultModel {
         self.model
@@ -388,6 +394,23 @@ impl Transport for InlineChannel {
         }
     }
 
+    fn put_bytes_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<()> {
+        match self.init.put_bytes_at(dest, vaddr, offset, data) {
+            Ok(_) => Ok(()),
+            Err(RvmaError::Nacked(r)) => {
+                self.nacks.lock().push((vaddr, r));
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     fn flush(&self) -> Result<()> {
         // The reliable put already blocked until delivery; the only state
         // parked inside the backend is reorder/delay-deferred copies.
@@ -397,6 +420,10 @@ impl Transport for InlineChannel {
 
     fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
         std::mem::take(&mut *self.nacks.lock())
+    }
+
+    fn staged_bytes(&self) -> u64 {
+        self.init.staged_bytes()
     }
 }
 

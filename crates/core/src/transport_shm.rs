@@ -44,7 +44,10 @@
 //! peer dies mid-conversation. See DESIGN.md §12.
 
 use crate::addr::{NodeAddr, VirtAddr};
-use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
+use crate::endpoint::{
+    DeliverResult, EndpointConfig, Fragment, RvmaEndpoint, DEFAULT_WIRE_IDLE_SPINS,
+    DEFAULT_WIRE_IDLE_YIELDS,
+};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::retry::{FaultInjector, FaultStats};
 use crate::shm::{self, ShmSegment};
@@ -62,8 +65,10 @@ use std::time::{Duration, Instant};
 
 /// Segment magic ("RVMASHM1") — a peer mapping the wrong file fails fast.
 const SHM_MAGIC: u64 = 0x5256_4D41_5348_4D31;
-/// Wire-layout version; bump on any slot/header change.
-const SHM_VERSION: u32 = 1;
+/// Wire-layout version; bump on any slot/header change. v2 added the
+/// bulk region (rendezvous lane) and the `bulk_bytes`/`eager_threshold`
+/// header words.
+const SHM_VERSION: u32 = 2;
 
 /// The mmap zero-fill value — what a client sees before the server's
 /// `STATE_READY` publish.
@@ -75,6 +80,11 @@ const STATE_SERVER_GONE: u32 = 2;
 // Request-ring message kinds.
 const REQ_PUT: u32 = 1;
 const REQ_FLUSH: u32 = 2;
+/// Rendezvous RTS: the payload already sits in the segment's bulk region;
+/// the slot carries only the extent offset (8 bytes). The server gathers
+/// straight from the extent into the posted window buffer and the client
+/// releases the extent when the `RSP_PUT_DONE` ack comes back.
+const REQ_BULK: u32 = 3;
 
 // Response-ring message kinds.
 const RSP_PUT_DONE: u32 = 1;
@@ -90,6 +100,16 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 fn round64(n: usize) -> usize {
     (n + 63) & !63
+}
+
+/// Largest power of two `<= n` (0 for 0) — the bulk region is sized down,
+/// never up, so a config request never inflates the segment.
+fn prev_pow2(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1usize << (usize::BITS - 1 - n.leading_zeros())
+    }
 }
 
 fn pid_alive(pid: u32) -> bool {
@@ -170,6 +190,12 @@ struct SegHeader {
     mtu: AtomicU64,
     req_slots: AtomicU64,
     rsp_slots: AtomicU64,
+    /// Bulk (rendezvous) region size in bytes; 0 disables the lane.
+    bulk_bytes: AtomicU64,
+    /// Puts longer than this take the rendezvous lane. The server
+    /// publishes it so both processes agree on lane policy without any
+    /// out-of-band configuration channel.
+    eager_threshold: AtomicU64,
     version: AtomicU32,
     state: AtomicU32,
     server_pid: AtomicU32,
@@ -241,18 +267,24 @@ struct SegGeometry {
     rsp_ctrl: usize,
     rsp_base: usize,
     rsp_stride: usize,
+    /// Start of the bulk (rendezvous) region; extents on the wire are
+    /// offsets relative to this base.
+    bulk_base: usize,
+    /// Bulk region size (a power of two, or 0 when the lane is disabled).
+    bulk_bytes: usize,
     total: usize,
 }
 
 impl SegGeometry {
-    fn new(mtu: usize, req_slots: usize, rsp_slots: usize) -> SegGeometry {
+    fn new(mtu: usize, req_slots: usize, rsp_slots: usize, bulk_bytes: usize) -> SegGeometry {
         let req_stride = round64(8 + REQ_HDR_SIZE + mtu);
         let rsp_stride = round64(8 + RSP_HDR_SIZE);
         let req_ctrl = HDR_SPACE;
         let req_base = req_ctrl + CTRL_SPACE;
         let rsp_ctrl = round64(req_base + req_slots * req_stride);
         let rsp_base = rsp_ctrl + CTRL_SPACE;
-        let total = round64(rsp_base + rsp_slots * rsp_stride);
+        let bulk_base = round64(rsp_base + rsp_slots * rsp_stride);
+        let total = round64(bulk_base + bulk_bytes);
         SegGeometry {
             mtu,
             req_slots,
@@ -263,6 +295,8 @@ impl SegGeometry {
             rsp_ctrl,
             rsp_base,
             rsp_stride,
+            bulk_base,
+            bulk_bytes,
             total,
         }
     }
@@ -385,6 +419,23 @@ enum ServerMsg {
         /// server-local retries raise it; it never crosses the segment.
         attempt: u32,
     },
+    /// Rendezvous RTS: gather `total_len` bytes straight out of the bulk
+    /// region at `ext_off` into the posted buffer — no slot copy, no
+    /// `Bytes` allocation. The client keeps the extent reserved until the
+    /// `RSP_PUT_DONE` ack, so a deferred (fault-injected) retry of this
+    /// message reads bytes that are still valid.
+    Bulk {
+        dest: NodeAddr,
+        initiator: NodeAddr,
+        op_id: u64,
+        vaddr: VirtAddr,
+        total_len: u64,
+        offset: usize,
+        /// Extent offset relative to the bulk region base.
+        ext_off: usize,
+        token: u32,
+        attempt: u32,
+    },
     Flush(u32),
 }
 
@@ -432,6 +483,10 @@ struct ServerInner {
     telemetry: Option<Arc<Telemetry>>,
     stop: AtomicBool,
     delivered: AtomicU64,
+    /// Payload bytes the worker copied out of request slots into owned
+    /// `Bytes` (the eager lane's wire copy). The rendezvous lane adds
+    /// nothing here — the gather goes segment → posted buffer directly.
+    wire_copied: AtomicU64,
 }
 
 impl ServerInner {
@@ -476,7 +531,13 @@ impl ShmServer {
         assert!(mtu > 0, "MTU must be positive");
         let req_slots = config.shm_req_slots.next_power_of_two().max(2);
         let rsp_slots = config.shm_rsp_slots.next_power_of_two().max(2);
-        let geo = SegGeometry::new(mtu, req_slots, rsp_slots);
+        // The bulk region must be a power of two for the buddy allocator;
+        // anything below one minimum block disables the rendezvous lane.
+        let mut bulk_bytes = prev_pow2(config.shm_bulk_bytes);
+        if bulk_bytes < (1usize << BULK_MIN_ORDER) {
+            bulk_bytes = 0;
+        }
+        let geo = SegGeometry::new(mtu, req_slots, rsp_slots, bulk_bytes);
         let seg = Arc::new(ShmSegment::create(path, geo.total)?);
 
         let telemetry = config.telemetry.then(|| Arc::new(Telemetry::new()));
@@ -496,6 +557,7 @@ impl ShmServer {
             telemetry,
             stop: AtomicBool::new(false),
             delivered: AtomicU64::new(0),
+            wire_copied: AtomicU64::new(0),
         });
 
         inner.req_ring().init_slots();
@@ -504,6 +566,9 @@ impl ShmServer {
         hdr.mtu.store(mtu as u64, Ordering::Relaxed);
         hdr.req_slots.store(req_slots as u64, Ordering::Relaxed);
         hdr.rsp_slots.store(rsp_slots as u64, Ordering::Relaxed);
+        hdr.bulk_bytes.store(bulk_bytes as u64, Ordering::Relaxed);
+        hdr.eager_threshold
+            .store(inner.config.eager_threshold as u64, Ordering::Relaxed);
         hdr.version.store(SHM_VERSION, Ordering::Relaxed);
         hdr.server_pid.store(std::process::id(), Ordering::Relaxed);
         hdr.magic.store(SHM_MAGIC, Ordering::Relaxed);
@@ -594,6 +659,12 @@ impl ShmServer {
         self.inner.delivered.load(Ordering::Relaxed)
     }
 
+    /// Payload bytes copied slot → owned `Bytes` by the wire worker (the
+    /// eager lane's extra copy; rendezvous gathers add nothing here).
+    pub fn wire_copied(&self) -> u64 {
+        self.inner.wire_copied.load(Ordering::Relaxed)
+    }
+
     /// Stop the worker after a final fault-free drain of the request ring
     /// and the deferred queue (the graceful analogue of `WireMsg::Stop`).
     /// Further client traffic fails with the server-gone state.
@@ -630,6 +701,8 @@ fn shm_worker(inner: Arc<ServerInner>) {
         .as_ref()
         .map(|p| FaultInjector::new(p.model, p.seed, p.stats.clone()));
     let mut deferred: VecDeque<ServerMsg> = VecDeque::new();
+    let idle_spins = inner.config.wire_idle_spins;
+    let idle_yields = inner.config.wire_idle_yields;
     loop {
         if let Some(msg) = pop_req(&inner, &req) {
             process_msg(&inner, &rsp, &mut injector, &mut deferred, msg, false);
@@ -641,6 +714,17 @@ fn shm_worker(inner: Arc<ServerInner>) {
         }
         if inner.stop.load(Ordering::Acquire) {
             break;
+        }
+        // Spin-then-yield-then-park (the threaded backend's §5 idle
+        // ladder). The yield rung matters most on starved boxes: while
+        // the worker is merely descheduled — not parked — a producer's
+        // push skips both the futex wake syscall and the wake-preemption,
+        // so a momentarily-dry ring refills into a batch instead of
+        // degenerating into one park/wake round trip per message (the
+        // rendezvous lane pushes one descriptor per *message*, so it has
+        // no ring backlog to absorb that churn, unlike the eager lane).
+        if idle_wait(&req, &inner.stop, idle_spins, idle_yields) {
+            continue;
         }
         let seen = hdr.req_bell.prepare();
         if req.can_pop() || inner.stop.load(Ordering::Acquire) {
@@ -663,6 +747,26 @@ fn shm_worker(inner: Arc<ServerInner>) {
     }
 }
 
+/// One pass of the pre-park idle ladder: spin `spins` times, then yield
+/// `yields` times, re-checking the ring (and the stop flag) at each rung.
+/// Returns true if work (or stop) appeared — the caller should re-loop
+/// instead of parking.
+fn idle_wait(ring: &RawRing, stop: &AtomicBool, spins: u32, yields: u32) -> bool {
+    for _ in 0..spins {
+        if ring.can_pop() || stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        std::hint::spin_loop();
+    }
+    for _ in 0..yields {
+        std::thread::yield_now();
+        if ring.can_pop() || stop.load(Ordering::Relaxed) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Deserialise the next request-ring slot into an owned message.
 fn pop_req(inner: &ServerInner, req: &RawRing) -> Option<ServerMsg> {
     let idx = req.begin_pop()?;
@@ -671,6 +775,30 @@ fn pop_req(inner: &ServerInner, req: &RawRing) -> Option<ServerMsg> {
     let kind = h.kind.load(Ordering::Relaxed);
     let msg = if kind == REQ_FLUSH {
         ServerMsg::Flush(h.token.load(Ordering::Relaxed))
+    } else if kind == REQ_BULK {
+        // SAFETY: the producer wrote the 8-byte extent offset into the
+        // slot's payload region before the release-publish we acquired.
+        let ext_off = unsafe {
+            let p = inner.seg.as_ptr().add(off + 8 + REQ_HDR_SIZE);
+            std::ptr::read_unaligned(p as *const u64)
+        } as usize;
+        ServerMsg::Bulk {
+            dest: NodeAddr::new(
+                h.dest_nid.load(Ordering::Relaxed),
+                h.dest_pid.load(Ordering::Relaxed),
+            ),
+            initiator: NodeAddr::new(
+                h.init_nid.load(Ordering::Relaxed),
+                h.init_pid.load(Ordering::Relaxed),
+            ),
+            op_id: h.op_id.load(Ordering::Relaxed),
+            vaddr: VirtAddr::new(h.vaddr.load(Ordering::Relaxed)),
+            total_len: h.total_len.load(Ordering::Relaxed),
+            offset: h.offset.load(Ordering::Relaxed) as usize,
+            ext_off,
+            token: h.token.load(Ordering::Relaxed),
+            attempt: 0,
+        }
     } else {
         let len = h.len.load(Ordering::Relaxed) as usize;
         let len = len.min(inner.geo.mtu);
@@ -680,6 +808,7 @@ fn pop_req(inner: &ServerInner, req: &RawRing) -> Option<ServerMsg> {
             let p = inner.seg.as_ptr().add(off + 8 + REQ_HDR_SIZE);
             std::slice::from_raw_parts(p, len)
         };
+        inner.wire_copied.fetch_add(len as u64, Ordering::Relaxed);
         ServerMsg::Frag {
             dest: NodeAddr::new(
                 h.dest_nid.load(Ordering::Relaxed),
@@ -846,6 +975,164 @@ fn process_msg(
                 }
             }
         }
+        ServerMsg::Bulk {
+            dest,
+            initiator,
+            op_id,
+            vaddr,
+            total_len,
+            offset,
+            ext_off,
+            token,
+            attempt,
+        } => {
+            let len = total_len as usize;
+            let mut copies = 1u32;
+            if !drain {
+                if let (Some(inj), Some(plan)) = (injector.as_mut(), inner.fault.as_ref()) {
+                    // The RTS descriptor rolls the same dice as a put
+                    // fragment. A deferred copy stays valid because the
+                    // client holds the extent reserved until our ack; a
+                    // duplicated copy delivers twice and the dedup window
+                    // suppresses the second — exactly one ack either way.
+                    if len > 0 && attempt < plan.budget {
+                        let d = inj.roll();
+                        if d.crash {
+                            inner.endpoints.write().remove(&dest);
+                        }
+                        if d.drop || d.defer_spans > 0 {
+                            plan.pending_retries.fetch_add(1, Ordering::AcqRel);
+                            telemetry::record(
+                                &inner.telemetry,
+                                EventKind::Retransmit,
+                                telemetry::initiator_key(initiator.nid, initiator.pid),
+                                op_id,
+                                (attempt + 1) as u64,
+                            );
+                            deferred.push_back(ServerMsg::Bulk {
+                                dest,
+                                initiator,
+                                op_id,
+                                vaddr,
+                                total_len,
+                                offset,
+                                ext_off,
+                                token,
+                                attempt: attempt + 1,
+                            });
+                            if attempt > 0 {
+                                plan.pending_retries.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            return;
+                        }
+                        if d.duplicate {
+                            copies = 2;
+                        }
+                    }
+                }
+            }
+            let src_key = telemetry::initiator_key(initiator.nid, initiator.pid);
+            telemetry::record(
+                &inner.telemetry,
+                EventKind::WireDeliver,
+                src_key,
+                op_id,
+                offset as u64,
+            );
+            let mut nacked = false;
+            // The extent must sit wholly inside the bulk region before the
+            // worker dereferences it — a corrupt or hostile descriptor
+            // NACKs instead of faulting the server process.
+            let in_bounds = inner.geo.bulk_bytes > 0
+                && ext_off
+                    .checked_add(len)
+                    .is_some_and(|end| end <= inner.geo.bulk_bytes);
+            if !in_bounds {
+                push_rsp(
+                    inner,
+                    rsp,
+                    &RspMsg {
+                        kind: RSP_NACK,
+                        token: 0,
+                        reason: encode_nack(NackReason::OutOfBounds),
+                        nacked: 1,
+                        vaddr: vaddr.0,
+                    },
+                );
+                nacked = true;
+            } else {
+                match inner.endpoints.read().get(&dest).cloned() {
+                    Some(ep) => {
+                        // SAFETY: bounds validated against the bulk region
+                        // above; the client keeps the extent reserved (and
+                        // unwritten) until it sees our ack.
+                        let data = unsafe {
+                            let p = inner.seg.as_ptr().add(inner.geo.bulk_base + ext_off);
+                            std::slice::from_raw_parts(p, len)
+                        };
+                        telemetry::record(
+                            &inner.telemetry,
+                            EventKind::BulkDeliver,
+                            src_key,
+                            op_id,
+                            total_len,
+                        );
+                        for _ in 0..copies {
+                            if let DeliverResult::Nack(r) =
+                                ep.deliver_slice(initiator, op_id, vaddr, total_len, offset, data)
+                            {
+                                push_rsp(
+                                    inner,
+                                    rsp,
+                                    &RspMsg {
+                                        kind: RSP_NACK,
+                                        token: 0,
+                                        reason: encode_nack(r),
+                                        nacked: 1,
+                                        vaddr: vaddr.0,
+                                    },
+                                );
+                                nacked = true;
+                            }
+                        }
+                    }
+                    None => {
+                        push_rsp(
+                            inner,
+                            rsp,
+                            &RspMsg {
+                                kind: RSP_NACK,
+                                token: 0,
+                                reason: encode_nack(NackReason::NoSuchMailbox),
+                                nacked: 1,
+                                vaddr: vaddr.0,
+                            },
+                        );
+                        nacked = true;
+                    }
+                }
+            }
+            inner.delivered.fetch_add(1, Ordering::Relaxed);
+            // Rendezvous tokens are always nonzero: the ack doubles as the
+            // extent-release message, so it must flow even for
+            // fire-and-forget puts.
+            push_rsp(
+                inner,
+                rsp,
+                &RspMsg {
+                    kind: RSP_PUT_DONE,
+                    token,
+                    reason: 0,
+                    nacked: nacked as u32,
+                    vaddr: vaddr.0,
+                },
+            );
+            if attempt > 0 {
+                if let Some(plan) = &inner.fault {
+                    plan.pending_retries.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
     }
 }
 
@@ -886,9 +1173,166 @@ fn push_rsp(inner: &ServerInner, rsp: &RawRing, msg: &RspMsg) {
 // Client (initiator process)
 // ---------------------------------------------------------------------------
 
+/// Smallest buddy block: 2^6 = 64 bytes (one cache line).
+const BULK_MIN_ORDER: u32 = 6;
+
+/// Buddy allocator over the segment's bulk region. The metadata lives
+/// **client-side only**: the client is the sole mutator (reserve on
+/// submit, release on ack), so no cross-process synchronisation is needed
+/// and a crashing client can never wedge allocator state the server
+/// depends on — the server only ever *reads* extents it was handed.
+/// Offsets are relative to the bulk region base.
+struct BulkAllocator {
+    /// Free block offsets per order; index 0 holds order
+    /// [`BULK_MIN_ORDER`]. Lists stay short (≤ region/min-block blocks,
+    /// in practice a handful), so linear buddy lookup is fine.
+    free: Vec<Vec<usize>>,
+    max_order: u32,
+    enabled: bool,
+}
+
+impl BulkAllocator {
+    fn new(bulk_bytes: usize) -> BulkAllocator {
+        if bulk_bytes < (1usize << BULK_MIN_ORDER) {
+            return BulkAllocator {
+                free: Vec::new(),
+                max_order: 0,
+                enabled: false,
+            };
+        }
+        debug_assert!(bulk_bytes.is_power_of_two());
+        let max_order = bulk_bytes.trailing_zeros();
+        let mut free = vec![Vec::new(); (max_order - BULK_MIN_ORDER + 1) as usize];
+        free.last_mut().expect("at least one order").push(0);
+        BulkAllocator {
+            free,
+            max_order,
+            enabled: true,
+        }
+    }
+
+    /// Reserve a power-of-two extent covering `len` bytes. Returns the
+    /// bulk-relative offset and block order, or `None` when the region is
+    /// exhausted (or the lane disabled) — the caller falls back to eager.
+    fn reserve(&mut self, len: usize) -> Option<(usize, u32)> {
+        if !self.enabled || len == 0 {
+            return None;
+        }
+        let order = len.next_power_of_two().trailing_zeros().max(BULK_MIN_ORDER);
+        if order > self.max_order {
+            return None;
+        }
+        // Smallest order >= `order` with a free block, split down.
+        let mut have = order;
+        while self.free[(have - BULK_MIN_ORDER) as usize].is_empty() {
+            if have == self.max_order {
+                return None;
+            }
+            have += 1;
+        }
+        let off = self.free[(have - BULK_MIN_ORDER) as usize]
+            .pop()
+            .expect("non-empty free list");
+        while have > order {
+            have -= 1;
+            let buddy = off + (1usize << have);
+            self.free[(have - BULK_MIN_ORDER) as usize].push(buddy);
+        }
+        Some((off, order))
+    }
+
+    /// Return an extent, merging with its buddy while possible.
+    fn release(&mut self, mut off: usize, mut order: u32) {
+        while order < self.max_order {
+            let buddy = off ^ (1usize << order);
+            let list = &mut self.free[(order - BULK_MIN_ORDER) as usize];
+            match list.iter().position(|&b| b == buddy) {
+                Some(i) => {
+                    list.swap_remove(i);
+                    off &= !(1usize << order);
+                    order += 1;
+                }
+                None => break,
+            }
+        }
+        self.free[(order - BULK_MIN_ORDER) as usize].push(off);
+    }
+}
+
+/// A client-owned registered extent in the segment's bulk region (see
+/// [`ShmClient::reserve_extent`]). Holds its reservation until dropped;
+/// disjoint from every other live extent by buddy-allocator construction.
+pub struct BulkExtent {
+    inner: Arc<ClientInner>,
+    /// Bulk-relative offset (what the RTS descriptor carries).
+    off: usize,
+    order: u32,
+    /// Usable length as requested (the block itself is `1 << order`).
+    len: usize,
+}
+
+impl BulkExtent {
+    /// Usable capacity in bytes (the length passed to `reserve_extent`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length reservation (never constructed: the
+    /// allocator rejects `len == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The extent's payload region. Write the message here, then
+    /// [`ShmClient::put_from_extent`]. Must not be written while a put
+    /// from this extent is unresolved (the server reads the region
+    /// until its ack).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: the allocator hands out disjoint blocks, `&mut self`
+        // is the only client-side borrow, and the documented contract
+        // keeps the server out of the region while it is borrowed.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.inner
+                    .seg
+                    .as_ptr()
+                    .add(self.inner.geo.bulk_base + self.off),
+                self.len,
+            )
+        }
+    }
+}
+
+impl Drop for BulkExtent {
+    fn drop(&mut self) {
+        self.inner.release_extent(self.off, self.order, self.len);
+    }
+}
+
+/// Bulk-region accounting of one [`ShmClient`] — the quiesce balance
+/// check (`reserved_bytes == released_bytes`, `in_flight == 0` after a
+/// [`flush`](ShmClient::flush)) proves no extent leaks, including under
+/// fault injection and retransmitted RTS descriptors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BulkStats {
+    /// Payload bytes reserved into bulk extents so far.
+    pub reserved_bytes: u64,
+    /// Payload bytes whose extents have been released (acked).
+    pub released_bytes: u64,
+    /// Extents currently reserved and awaiting their ack.
+    pub in_flight: u64,
+    /// Large puts that fell back to the eager lane because the bulk
+    /// region was exhausted (or disabled).
+    pub eager_fallbacks: u64,
+}
+
 struct PendingPut {
     notify: Arc<PutNotify>,
     remaining: u64,
+    /// Rendezvous puts own a bulk extent `(offset, order, len)` released
+    /// exactly once — when the ack removes this entry (or on peer death).
+    /// A duplicate ack finds no entry and is ignored: no double-free.
+    extent: Option<(usize, u32, usize)>,
 }
 
 struct FlushState {
@@ -900,6 +1344,8 @@ struct ClientInner {
     seg: Arc<ShmSegment>,
     geo: SegGeometry,
     src: NodeAddr,
+    /// Lane policy published by the server in the segment header.
+    eager_threshold: usize,
     next_op: AtomicU64,
     next_token: AtomicU32,
     next_flush: AtomicU32,
@@ -909,6 +1355,15 @@ struct ClientInner {
     flush_cv: Condvar,
     stop: AtomicBool,
     telemetry: Option<Arc<Telemetry>>,
+    /// Bulk-region buddy allocator (see [`BulkAllocator`]).
+    bulk: Mutex<BulkAllocator>,
+    bulk_reserved: AtomicU64,
+    bulk_released: AtomicU64,
+    bulk_in_flight: AtomicU64,
+    bulk_fallbacks: AtomicU64,
+    /// Payload bytes copied into the segment (request slots on the eager
+    /// lane, bulk extents on the rendezvous lane).
+    staged: AtomicU64,
 }
 
 impl ClientInner {
@@ -941,13 +1396,34 @@ impl ClientInner {
         spid != 0 && !pid_alive(spid)
     }
 
+    /// Release a rendezvous extent (exactly once per reservation: the
+    /// callers are the single ack-path removal, the submit error unwind,
+    /// and the peer-death drain — mutually exclusive by token ownership).
+    fn release_extent(&self, off: usize, order: u32, len: usize) {
+        self.bulk.lock().release(off, order);
+        self.bulk_released.fetch_add(len as u64, Ordering::Relaxed);
+        self.bulk_in_flight.fetch_sub(1, Ordering::Relaxed);
+        telemetry::record(
+            &self.telemetry,
+            EventKind::BulkRelease,
+            telemetry::initiator_key(self.src.nid, self.src.pid),
+            0,
+            off as u64,
+        );
+    }
+
     /// Resolve every outstanding future/flush as failed (peer death).
     fn fail_all_pending(&self) {
-        let mut tokens = self.tokens.lock();
-        for (_, p) in tokens.drain() {
+        let drained: Vec<PendingPut> = {
+            let mut tokens = self.tokens.lock();
+            tokens.drain().map(|(_, p)| p).collect()
+        };
+        for p in drained {
             p.notify.fragments_done(p.remaining, true);
+            if let Some((off, order, len)) = p.extent {
+                self.release_extent(off, order, len);
+            }
         }
-        drop(tokens);
         let mut fs = self.flush_state.lock();
         fs.dead = true;
         drop(fs);
@@ -1022,7 +1498,9 @@ impl ShmClient {
             hdr.mtu.load(Ordering::Relaxed) as usize,
             hdr.req_slots.load(Ordering::Relaxed) as usize,
             hdr.rsp_slots.load(Ordering::Relaxed) as usize,
+            hdr.bulk_bytes.load(Ordering::Relaxed) as usize,
         );
+        let eager_threshold = hdr.eager_threshold.load(Ordering::Relaxed) as usize;
         if geo.mtu == 0 || seg.len() < geo.total {
             return Err(RvmaError::TransportFailed(format!(
                 "segment {} geometry mismatch ({} B mapped, {} B required)",
@@ -1033,10 +1511,23 @@ impl ShmClient {
         }
         hdr.client_pid.store(std::process::id(), Ordering::SeqCst);
 
+        // Write-fault the client-owned regions up front — the shm
+        // analogue of RDMA buffer registration. Extents in the bulk
+        // region and request-slot payloads are written by this process
+        // only (the server just reads them at gather/deliver), so the
+        // touch cannot race a peer store; without it every first store
+        // into a fresh rendezvous extent takes a write-protect fault on
+        // the datapath, which dominates large-message goodput.
+        seg.prefault_writable(geo.req_base, geo.req_stride * geo.req_slots);
+        if geo.bulk_bytes > 0 {
+            seg.prefault_writable(geo.bulk_base, geo.bulk_bytes);
+        }
+
         let inner = Arc::new(ClientInner {
             seg: Arc::new(seg),
             geo,
             src,
+            eager_threshold,
             next_op: AtomicU64::new(1),
             next_token: AtomicU32::new(0),
             next_flush: AtomicU32::new(0),
@@ -1049,6 +1540,12 @@ impl ShmClient {
             flush_cv: Condvar::new(),
             stop: AtomicBool::new(false),
             telemetry,
+            bulk: Mutex::new(BulkAllocator::new(geo.bulk_bytes)),
+            bulk_reserved: AtomicU64::new(0),
+            bulk_released: AtomicU64::new(0),
+            bulk_in_flight: AtomicU64::new(0),
+            bulk_fallbacks: AtomicU64::new(0),
+            staged: AtomicU64::new(0),
         });
         let pump = {
             let inner = inner.clone();
@@ -1074,6 +1571,13 @@ impl ShmClient {
     }
 
     /// Fire-and-forget `RVMA_Put` at offset 0.
+    /// The lane policy the server published in the segment header: puts
+    /// longer than this take the rendezvous lane (0 forces it for every
+    /// non-empty put, `usize::MAX` disables it).
+    pub fn eager_threshold(&self) -> usize {
+        self.inner.eager_threshold
+    }
+
     pub fn put(&self, dest: NodeAddr, vaddr: VirtAddr, data: &[u8]) -> Result<()> {
         self.put_at(dest, vaddr, 0, data)
     }
@@ -1089,7 +1593,7 @@ impl ShmClient {
         offset: usize,
         data: &[u8],
     ) -> Result<()> {
-        self.submit(dest, vaddr, offset, data, 0)?;
+        self.submit_put(dest, vaddr, offset, data, false)?;
         Ok(())
     }
 
@@ -1109,27 +1613,265 @@ impl ShmClient {
         offset: usize,
         data: &[u8],
     ) -> Result<PutFuture> {
-        // Token 0 means "no ack requested"; skip it on wrap.
+        Ok(self
+            .submit_put(dest, vaddr, offset, data, true)?
+            .expect("notified submission returns a future"))
+    }
+
+    /// Reserve a client-owned **registered extent** in the segment's bulk
+    /// region — the shm analogue of an RDMA-registered send buffer. The
+    /// application writes payload directly into it
+    /// ([`BulkExtent::as_mut_slice`]) and puts from it with
+    /// [`put_from_extent`](ShmClient::put_from_extent): no staging copy at
+    /// all, the server gathers straight from the extent (one copy per
+    /// byte, the one no lane can avoid). Returns `None` when the region
+    /// is exhausted or the rendezvous lane is disabled. The extent is
+    /// returned to the allocator on drop.
+    pub fn reserve_extent(&self, len: usize) -> Option<BulkExtent> {
+        let inner = &self.inner;
+        let (off, order) = inner.bulk.lock().reserve(len)?;
+        inner.bulk_reserved.fetch_add(len as u64, Ordering::Relaxed);
+        inner.bulk_in_flight.fetch_add(1, Ordering::Relaxed);
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::BulkReserve,
+            telemetry::initiator_key(inner.src.nid, inner.src.pid),
+            0,
+            off as u64,
+        );
+        Some(BulkExtent {
+            inner: self.inner.clone(),
+            off,
+            order,
+            len,
+        })
+    }
+
+    /// Zero-copy `RVMA_Put` of a registered extent's contents: one RTS
+    /// descriptor through the request ring, no payload copy client-side.
+    /// The returned future resolves once the server finished gathering
+    /// (same ack as [`put_notify_at`](ShmClient::put_notify_at)) — until
+    /// then the extent contents must not be rewritten, and the extent
+    /// must not be dropped (the RDMA "don't deregister while posted"
+    /// contract).
+    pub fn put_from_extent(
+        &self,
+        ext: &BulkExtent,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+    ) -> Result<PutFuture> {
+        let inner = &self.inner;
+        assert!(
+            Arc::ptr_eq(&ext.inner, inner),
+            "extent belongs to a different client"
+        );
+        let op_id = inner.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(inner.src.nid, inner.src.pid);
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            ext.len as u64,
+        );
+        let token = self.alloc_token();
+        let notify = PutNotify::new(1);
+        // `extent: None`: the application owns the extent's lifetime —
+        // the ack resolves the future but releases nothing.
+        inner.tokens.lock().insert(
+            token,
+            PendingPut {
+                notify: notify.clone(),
+                remaining: 1,
+                extent: None,
+            },
+        );
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::RingEnqueue,
+            src_key,
+            op_id,
+            offset as u64,
+        );
+        let pushed = self.push_req(|h, payload| {
+            h.kind.store(REQ_BULK, Ordering::Relaxed);
+            h.len.store(8, Ordering::Relaxed);
+            h.dest_nid.store(dest.nid, Ordering::Relaxed);
+            h.dest_pid.store(dest.pid, Ordering::Relaxed);
+            h.init_nid.store(inner.src.nid, Ordering::Relaxed);
+            h.init_pid.store(inner.src.pid, Ordering::Relaxed);
+            h.token.store(token, Ordering::Relaxed);
+            h.op_id.store(op_id, Ordering::Relaxed);
+            h.vaddr.store(vaddr.0, Ordering::Relaxed);
+            h.total_len.store(ext.len as u64, Ordering::Relaxed);
+            h.offset.store(offset as u64, Ordering::Relaxed);
+            // SAFETY: the payload region is at least MTU (> 8) bytes.
+            unsafe {
+                std::ptr::write_unaligned(payload as *mut u64, ext.off as u64);
+            }
+        });
+        if let Err(e) = pushed {
+            inner.tokens.lock().remove(&token);
+            return Err(e);
+        }
+        Ok(PutFuture::from_notify(notify, 1))
+    }
+
+    /// Token 0 means "no ack requested"; skip it on wrap.
+    fn alloc_token(&self) -> u32 {
         let mut token = self.inner.next_token.fetch_add(1, Ordering::Relaxed) + 1;
         if token == 0 {
             token = self.inner.next_token.fetch_add(1, Ordering::Relaxed) + 1;
         }
+        token
+    }
+
+    /// One entry point for every put: picks the lane, owns the token
+    /// lifecycle. Returns a future only when `want_notify` (rendezvous
+    /// puts always run tokened — the ack releases the extent — but the
+    /// future is only surfaced on request).
+    fn submit_put(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+        want_notify: bool,
+    ) -> Result<Option<PutFuture>> {
+        let inner = &self.inner;
+        if data.len() > inner.eager_threshold {
+            let extent = inner.bulk.lock().reserve(data.len());
+            match extent {
+                Some((ext_off, order)) => {
+                    return self.submit_bulk(dest, vaddr, offset, data, ext_off, order, want_notify)
+                }
+                // Region exhausted (or lane disabled): eager still works —
+                // rendezvous is an optimisation, never a requirement.
+                None => {
+                    inner.bulk_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !want_notify {
+            self.submit(dest, vaddr, offset, data, 0)?;
+            return Ok(None);
+        }
+        let token = self.alloc_token();
         // A put is at least one fragment even when empty — the countdown
         // must resolve for zero-length puts (no-wire-payload audit).
-        let fragments = data.len().div_ceil(self.inner.geo.mtu).max(1) as u64;
+        let fragments = data.len().div_ceil(inner.geo.mtu).max(1) as u64;
         let notify = PutNotify::new(fragments);
-        self.inner.tokens.lock().insert(
+        inner.tokens.lock().insert(
             token,
             PendingPut {
                 notify: notify.clone(),
                 remaining: fragments,
+                extent: None,
             },
         );
         if let Err(e) = self.submit(dest, vaddr, offset, data, token) {
-            self.inner.tokens.lock().remove(&token);
+            inner.tokens.lock().remove(&token);
             return Err(e);
         }
-        Ok(PutFuture::from_notify(notify, fragments))
+        Ok(Some(PutFuture::from_notify(notify, fragments)))
+    }
+
+    /// Rendezvous submission: one copy into the reserved extent, one RTS
+    /// descriptor through the request ring. The put is a single logical
+    /// fragment regardless of size.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_bulk(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: &[u8],
+        ext_off: usize,
+        order: u32,
+        want_notify: bool,
+    ) -> Result<Option<PutFuture>> {
+        let inner = &self.inner;
+        inner
+            .bulk_reserved
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        inner.bulk_in_flight.fetch_add(1, Ordering::Relaxed);
+        let op_id = inner.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(inner.src.nid, inner.src.pid);
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            data.len() as u64,
+        );
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::BulkReserve,
+            src_key,
+            op_id,
+            ext_off as u64,
+        );
+        // The lane's single staging copy: caller buffer → extent. It must
+        // complete before the descriptor publishes (the ring slot's
+        // release store orders it for the server's acquire pop).
+        inner.staged.fetch_add(data.len() as u64, Ordering::Relaxed);
+        // SAFETY: the extent was reserved from this segment's bulk region
+        // and covers `data.len()` bytes by construction.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                inner.seg.as_ptr().add(inner.geo.bulk_base + ext_off),
+                data.len(),
+            );
+        }
+        let token = self.alloc_token();
+        let notify = PutNotify::new(1);
+        inner.tokens.lock().insert(
+            token,
+            PendingPut {
+                notify: notify.clone(),
+                remaining: 1,
+                extent: Some((ext_off, order, data.len())),
+            },
+        );
+        telemetry::record(
+            &inner.telemetry,
+            EventKind::RingEnqueue,
+            src_key,
+            op_id,
+            offset as u64,
+        );
+        let pushed = self.push_req(|h, payload| {
+            h.kind.store(REQ_BULK, Ordering::Relaxed);
+            h.len.store(8, Ordering::Relaxed);
+            h.dest_nid.store(dest.nid, Ordering::Relaxed);
+            h.dest_pid.store(dest.pid, Ordering::Relaxed);
+            h.init_nid.store(inner.src.nid, Ordering::Relaxed);
+            h.init_pid.store(inner.src.pid, Ordering::Relaxed);
+            h.token.store(token, Ordering::Relaxed);
+            h.op_id.store(op_id, Ordering::Relaxed);
+            h.vaddr.store(vaddr.0, Ordering::Relaxed);
+            h.total_len.store(data.len() as u64, Ordering::Relaxed);
+            h.offset.store(offset as u64, Ordering::Relaxed);
+            // SAFETY: the payload region is at least MTU (> 8) bytes.
+            unsafe {
+                std::ptr::write_unaligned(payload as *mut u64, ext_off as u64);
+            }
+        });
+        if let Err(e) = pushed {
+            // Never reached the wire: unwind reservation and token. (If
+            // push_req failed, fail_all_pending may already have drained
+            // the token and released the extent — only release what we
+            // removed ourselves.)
+            if let Some(p) = inner.tokens.lock().remove(&token) {
+                if let Some((off, ord, len)) = p.extent {
+                    inner.release_extent(off, ord, len);
+                }
+            }
+            return Err(e);
+        }
+        Ok(want_notify.then(|| PutFuture::from_notify(notify, 1)))
     }
 
     /// Fragment and push one put into the request ring.
@@ -1142,6 +1884,9 @@ impl ShmClient {
         token: u32,
     ) -> Result<()> {
         let mtu = self.inner.geo.mtu;
+        self.inner
+            .staged
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         let op_id = self.inner.next_op.fetch_add(1, Ordering::Relaxed);
         let src_key = telemetry::initiator_key(self.inner.src.nid, self.inner.src.pid);
         telemetry::record(
@@ -1269,6 +2014,24 @@ impl ShmClient {
     pub fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
         std::mem::take(&mut *self.inner.nacks.lock())
     }
+
+    /// Payload bytes copied into the segment so far (request slots on the
+    /// eager lane, bulk extents on the rendezvous lane).
+    pub fn staged_bytes(&self) -> u64 {
+        self.inner.staged.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-region accounting. After a [`flush`](ShmClient::flush) with
+    /// no puts in flight, `reserved_bytes == released_bytes` and
+    /// `in_flight == 0` — the no-extent-leak invariant.
+    pub fn bulk_stats(&self) -> BulkStats {
+        BulkStats {
+            reserved_bytes: self.inner.bulk_reserved.load(Ordering::Relaxed),
+            released_bytes: self.inner.bulk_released.load(Ordering::Relaxed),
+            in_flight: self.inner.bulk_in_flight.load(Ordering::Relaxed),
+            eager_fallbacks: self.inner.bulk_fallbacks.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl Drop for ShmClient {
@@ -1295,6 +2058,10 @@ impl Transport for ShmClient {
 
     fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
         ShmClient::take_nacks(self)
+    }
+
+    fn staged_bytes(&self) -> u64 {
+        ShmClient::staged_bytes(self)
     }
 }
 
@@ -1344,6 +2111,20 @@ fn rsp_pump(inner: Arc<ClientInner>) {
             inner.fail_all_pending();
             break;
         }
+        // Same idle ladder as the server worker: acks stream one per
+        // rendezvous put, so parking per ack would cost a futex round
+        // trip per message. Defaults (the client has no EndpointConfig):
+        // the server publishes no idle policy in the header, and the
+        // pump's cadence only affects extent-release latency, which the
+        // allocator's depth absorbs.
+        if idle_wait(
+            &rsp,
+            &inner.stop,
+            DEFAULT_WIRE_IDLE_SPINS,
+            DEFAULT_WIRE_IDLE_YIELDS,
+        ) {
+            continue;
+        }
         let seen = hdr.rsp_bell.prepare();
         if rsp.can_pop() || inner.stop.load(Ordering::Acquire) {
             hdr.rsp_bell.cancel();
@@ -1356,12 +2137,27 @@ fn rsp_pump(inner: Arc<ClientInner>) {
 fn handle_rsp(inner: &ClientInner, msg: RspMsg) {
     match msg.kind {
         RSP_PUT_DONE => {
-            let mut tokens = inner.tokens.lock();
-            if let Some(p) = tokens.get_mut(&msg.token) {
-                p.notify.fragments_done(1, msg.nacked != 0);
-                p.remaining -= 1;
-                if p.remaining == 0 {
-                    tokens.remove(&msg.token);
+            // A duplicate ack (possible only through fault injection)
+            // finds the token already removed and is ignored — that is
+            // what makes the extent release below exactly-once.
+            let done = {
+                let mut tokens = inner.tokens.lock();
+                match tokens.get_mut(&msg.token) {
+                    Some(p) => {
+                        p.notify.fragments_done(1, msg.nacked != 0);
+                        p.remaining -= 1;
+                        if p.remaining == 0 {
+                            tokens.remove(&msg.token)
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                }
+            };
+            if let Some(p) = done {
+                if let Some((off, order, len)) = p.extent {
+                    inner.release_extent(off, order, len);
                 }
             }
         }
@@ -1406,16 +2202,41 @@ mod tests {
 
     #[test]
     fn geometry_is_consistent_and_aligned() {
-        let g = SegGeometry::new(2048, 1024, 512);
+        let g = SegGeometry::new(2048, 1024, 512, 1 << 20);
         assert_eq!(g.req_base % 64, 0);
         assert_eq!(g.rsp_base % 64, 0);
         assert_eq!(g.req_stride % 64, 0);
+        assert_eq!(g.bulk_base % 64, 0);
         assert!(g.req_stride >= 8 + REQ_HDR_SIZE + 2048);
-        assert!(g.total >= g.rsp_base + 512 * g.rsp_stride);
+        assert!(g.bulk_base >= g.rsp_base + 512 * g.rsp_stride);
+        assert!(g.total >= g.bulk_base + (1 << 20));
         assert_eq!(std::mem::size_of::<ReqHdr>(), REQ_HDR_SIZE);
         assert_eq!(std::mem::size_of::<RspHdr>(), RSP_HDR_SIZE);
         assert!(std::mem::size_of::<SegHeader>() <= HDR_SPACE);
         assert_eq!(std::mem::size_of::<RingCtrl>(), CTRL_SPACE);
+        // A zero-sized bulk region must not change the classic layout.
+        let g0 = SegGeometry::new(2048, 1024, 512, 0);
+        assert_eq!(g0.total, round64(g0.bulk_base));
+    }
+
+    #[test]
+    fn bulk_allocator_splits_merges_and_exhausts() {
+        let mut a = BulkAllocator::new(1 << 12); // 4 KiB region
+        let (o1, r1) = a.reserve(100).unwrap(); // order 7 (128 B)
+        assert_eq!(r1, 7);
+        let (o2, r2) = a.reserve(1 << 11).unwrap(); // order 11
+        assert_eq!(r2, 11);
+        assert_ne!(o1, o2);
+        // Too big for what remains → None (caller falls back to eager).
+        assert!(a.reserve(1 << 11).is_none());
+        // Oversize vs the whole region → None.
+        assert!(a.reserve((1 << 12) + 1).is_none());
+        a.release(o1, r1);
+        a.release(o2, r2);
+        // Everything merged back: the full region is allocatable again.
+        let (o3, r3) = a.reserve(1 << 12).unwrap();
+        assert_eq!((o3, r3), (0, 12));
+        a.release(o3, r3);
     }
 
     #[test]
@@ -1459,6 +2280,56 @@ mod tests {
         assert!(!d1.nacked);
         assert_eq!(d2.fragments, 1);
         assert!(!d2.nacked);
+    }
+
+    #[test]
+    fn registered_extent_put_is_byte_exact_and_copyless() {
+        if !shm_supported() {
+            return;
+        }
+        const LEN: usize = 24 << 10; // multi-MTU, above the default threshold
+        let (server, client) = shm_pair(4096, EndpointConfig::default(), CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let win = ep
+            .init_window(VirtAddr::new(0x30), Threshold::bytes(2 * LEN as u64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; 2 * LEN]).unwrap();
+
+        let mut ext = client.reserve_extent(LEN).expect("bulk region");
+        assert_eq!(ext.len(), LEN);
+        for (i, b) in ext.as_mut_slice().iter_mut().enumerate() {
+            *b = (i % 253) as u8;
+        }
+        // Same extent put twice at different offsets: reuse after the ack
+        // resolves, contents untouched in between.
+        let f1 = client
+            .put_from_extent(&ext, SERVER, VirtAddr::new(0x30), 0)
+            .unwrap();
+        assert!(!pollster::block_on(f1).nacked);
+        let f2 = client
+            .put_from_extent(&ext, SERVER, VirtAddr::new(0x30), LEN)
+            .unwrap();
+        assert!(!pollster::block_on(f2).nacked);
+
+        let buf = note
+            .wait_timeout(Duration::from_secs(10))
+            .expect("epoch completes");
+        for half in 0..2 {
+            for (i, &b) in buf.data()[half * LEN..(half + 1) * LEN].iter().enumerate() {
+                assert_eq!(b, (i % 253) as u8, "byte {i} of half {half}");
+            }
+        }
+        // Zero staging, zero slot-pop: the gather is the only copy.
+        assert_eq!(client.staged_bytes(), 0, "registered puts must not stage");
+        assert_eq!(server.wire_copied(), 0, "RTS descriptors carry no payload");
+        assert_eq!(ep.stats().bytes_copied, 2 * LEN as u64);
+
+        // Dropping the extent returns it: the full region is allocatable
+        // again and the quiesce balance holds.
+        drop(ext);
+        let stats = client.bulk_stats();
+        assert_eq!(stats.reserved_bytes, stats.released_bytes);
+        assert_eq!(stats.in_flight, 0);
     }
 
     #[test]
@@ -1509,6 +2380,155 @@ mod tests {
         let stats = server.fault_stats().unwrap();
         assert!(stats.dropped() > 0, "fault model actually fired");
         assert_eq!(server.pending_retries(), 0);
+    }
+
+    #[test]
+    fn rendezvous_roundtrip_is_byte_exact_and_releases_extent() {
+        if !shm_supported() {
+            return;
+        }
+        let cfg = EndpointConfig {
+            shm_bulk_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let (server, client) = shm_pair(64, cfg, CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let len = 64 * 1024; // far above the default eager threshold
+        let win = ep
+            .init_window(VirtAddr::new(0x50), Threshold::bytes(len as u64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; len]).unwrap();
+        let payload: Vec<u8> = (0..len as u32).map(|i| (i % 239) as u8).collect();
+        client.put(SERVER, VirtAddr::new(0x50), &payload).unwrap();
+        client.flush().unwrap();
+        let buf = note.poll().expect("rendezvous epoch complete");
+        assert_eq!(buf.data(), &payload[..], "byte-exact gather from extent");
+        // Extent balance: the ack released exactly what was reserved.
+        let bs = client.bulk_stats();
+        assert_eq!(bs.reserved_bytes, len as u64);
+        assert_eq!(bs.released_bytes, len as u64);
+        assert_eq!(bs.in_flight, 0);
+        assert_eq!(bs.eager_fallbacks, 0);
+        // Zero eager wire copies: the worker never copied a slot payload.
+        assert_eq!(server.wire_copied(), 0);
+    }
+
+    #[test]
+    fn rendezvous_notify_future_resolves_as_one_fragment() {
+        if !shm_supported() {
+            return;
+        }
+        let cfg = EndpointConfig {
+            shm_bulk_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let (server, client) = shm_pair(64, cfg, CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let len = 32 * 1024;
+        let win = ep
+            .init_window(VirtAddr::new(0x55), Threshold::bytes(len as u64))
+            .unwrap();
+        let _note = win.post_buffer(vec![0u8; len]).unwrap();
+        let fut = client
+            .put_notify(SERVER, VirtAddr::new(0x55), &vec![0x5A; len])
+            .unwrap();
+        let d = pollster::block_on(fut);
+        assert_eq!(d.fragments, 1, "an RTS is one logical fragment");
+        assert!(!d.nacked);
+        client.flush().unwrap();
+        assert_eq!(client.bulk_stats().in_flight, 0);
+    }
+
+    #[test]
+    fn rendezvous_survives_retransmitted_rts_without_extent_leak() {
+        if !shm_supported() {
+            return;
+        }
+        // Drop AND duplicate dice on the RTS descriptor: deferred copies
+        // must gather bytes that are still valid, duplicated deliveries
+        // must dedup, and exactly one ack must release each extent.
+        let cfg = EndpointConfig {
+            dedup_window: 1 << 15,
+            shm_bulk_bytes: 1 << 22,
+            fault_model: crate::retry::FaultModel {
+                drop_p: 0.3,
+                dup_p: 0.2,
+                ..crate::retry::FaultModel::NONE
+            },
+            fault_seed: 0xB17E,
+            ..Default::default()
+        };
+        let (server, client) = shm_pair(64, cfg, CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let len = 16 * 1024;
+        let rounds = 8u64;
+        let win = ep
+            .init_window(VirtAddr::new(0x60), Threshold::bytes(len as u64))
+            .unwrap();
+        let mut notes = Vec::new();
+        for _ in 0..rounds {
+            notes.push(win.post_buffer(vec![0u8; len]).unwrap());
+        }
+        let payload: Vec<u8> = (0..len as u32).map(|i| (i % 241) as u8).collect();
+        for _ in 0..rounds {
+            client.put(SERVER, VirtAddr::new(0x60), &payload).unwrap();
+        }
+        client.flush().unwrap();
+        for mut note in notes {
+            let buf = note.poll().expect("every faulted epoch completes");
+            assert_eq!(buf.data(), &payload[..], "byte-exact under faults");
+        }
+        let bs = client.bulk_stats();
+        assert_eq!(bs.reserved_bytes, rounds * len as u64);
+        assert_eq!(
+            bs.released_bytes, bs.reserved_bytes,
+            "no extent leaked under drop/dup faults"
+        );
+        assert_eq!(bs.in_flight, 0);
+        assert_eq!(server.pending_retries(), 0);
+        let stats = server.fault_stats().unwrap();
+        assert!(
+            stats.dropped() + stats.duplicated() > 0,
+            "dice actually fired"
+        );
+    }
+
+    #[test]
+    fn bulk_exhaustion_falls_back_to_eager() {
+        if !shm_supported() {
+            return;
+        }
+        // A 16 KiB region cannot hold a 32 KiB extent: that put must fall
+        // back to the eager fragment lane deterministically, while a
+        // 12 KiB put still rides rendezvous. Both must land byte-exact.
+        let cfg = EndpointConfig {
+            shm_bulk_bytes: 16 << 10,
+            ..Default::default()
+        };
+        let (server, client) = shm_pair(256, cfg, CLIENT).unwrap();
+        let ep = server.add_endpoint(SERVER);
+        let big = 32 * 1024; // > bulk region → eager fallback
+        let small = 12 * 1024; // fits → rendezvous
+        let win = ep
+            .init_window(VirtAddr::new(0x70), Threshold::bytes((big + small) as u64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; big + small]).unwrap();
+        let a: Vec<u8> = vec![0xA1; big];
+        let b: Vec<u8> = vec![0xB2; small];
+        client.put_at(SERVER, VirtAddr::new(0x70), 0, &a).unwrap();
+        client.put_at(SERVER, VirtAddr::new(0x70), big, &b).unwrap();
+        client.flush().unwrap();
+        let buf = note.poll().expect("both puts landed");
+        assert_eq!(&buf.data()[..big], &a[..]);
+        assert_eq!(&buf.data()[big..], &b[..]);
+        let bs = client.bulk_stats();
+        assert_eq!(bs.eager_fallbacks, 1, "oversize put fell back exactly once");
+        assert_eq!(bs.reserved_bytes, small as u64);
+        assert_eq!(bs.released_bytes, small as u64);
+        assert_eq!(bs.in_flight, 0);
+        // The fallback's bytes crossed as slot copies; the rendezvous
+        // put's did not.
+        assert_eq!(server.wire_copied(), big as u64);
     }
 
     #[test]

@@ -1069,6 +1069,7 @@ impl AsyncNetwork {
             route_hits: AtomicU64::new(0),
             route_misses: AtomicU64::new(0),
             pool: PayloadPool::new(),
+            staged: AtomicU64::new(0),
         }
     }
 
@@ -1136,6 +1137,10 @@ pub struct AsyncInitiator {
     route_hits: AtomicU64,
     route_misses: AtomicU64,
     pool: PayloadPool,
+    /// Payload bytes copied into staging storage (pool acquisitions) on
+    /// the eager path; the zero-copy lane contributes nothing here. See
+    /// [`Transport::staged_bytes`](crate::transport::Transport::staged_bytes).
+    staged: AtomicU64,
 }
 
 impl AsyncInitiator {
@@ -1229,6 +1234,140 @@ impl AsyncInitiator {
         Ok(PutFuture { notify, fragments })
     }
 
+    /// `RVMA_Put` of an owned payload with a size-adaptive lane choice.
+    ///
+    /// At or below the endpoint config's `eager_threshold` this behaves
+    /// exactly like [`put_at`](AsyncInitiator::put_at): the payload is
+    /// copied into pooled staging storage and the caller's `Bytes` is
+    /// dropped. Above the threshold the put goes **zero-copy**: every
+    /// fragment is an offset/len slice of `data`'s shared allocation, no
+    /// staging copy is made, and the receiver-side gather into the posted
+    /// window buffer is the put's only copy (so the transport's
+    /// copies-per-byte on this lane is exactly 1).
+    pub fn put_bytes_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<()> {
+        if data.len() <= self.shared.endpoint_config.eager_threshold {
+            return self.submit(dest, vaddr, offset, &data, None);
+        }
+        self.submit_shared(dest, vaddr, offset, data, None)
+    }
+
+    /// Notified zero-copy put: [`put_bytes_at`](AsyncInitiator::put_bytes_at)
+    /// returning a [`PutFuture`] that resolves when every fragment reaches
+    /// its final wire disposition.
+    pub fn put_bytes_notify_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<PutFuture> {
+        let fragments = if data.len() <= self.shared.mtu {
+            1
+        } else {
+            data.len().div_ceil(self.shared.mtu) as u64
+        };
+        let notify = PutNotify::new(fragments);
+        if data.len() <= self.shared.endpoint_config.eager_threshold {
+            self.submit(dest, vaddr, offset, &data, Some(notify.clone()))?;
+        } else {
+            self.submit_shared(dest, vaddr, offset, data, Some(notify.clone()))?;
+        }
+        Ok(PutFuture { notify, fragments })
+    }
+
+    /// Zero-copy submission: fragments carry slices of the caller's
+    /// shared allocation instead of pooled copies. Mirrors
+    /// [`submit`](AsyncInitiator::submit) in every other respect
+    /// (routing, telemetry, shuffle, backpressure).
+    fn submit_shared(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        payload: Bytes,
+        notify: Option<Arc<PutNotify>>,
+    ) -> Result<()> {
+        let queue_idx = self.resolve_route(dest, vaddr)?;
+        let queue = &self.shared.queues[queue_idx];
+        let op_id = self.next_op.fetch_add(1, Ordering::Relaxed);
+        let src_key = telemetry::initiator_key(self.src.nid, self.src.pid);
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::Submit,
+            src_key,
+            op_id,
+            payload.len() as u64,
+        );
+        let mtu = self.shared.mtu;
+        if payload.len() <= mtu {
+            let frag = Fragment {
+                initiator: self.src,
+                op_id,
+                dst_vaddr: vaddr,
+                op_total_len: payload.len() as u64,
+                offset,
+                data: payload,
+            };
+            queue
+                .push(WireMsg::Deliver {
+                    dest,
+                    frag,
+                    nacks: self.nacks.clone(),
+                    attempt: 0,
+                    notify,
+                })
+                .map_err(|_| RvmaError::UnknownDestination)?;
+            telemetry::record(
+                &self.shared.telemetry,
+                EventKind::RingEnqueue,
+                src_key,
+                op_id,
+                queue_idx as u64,
+            );
+            return Ok(());
+        }
+        let total = payload.len() as u64;
+        let mut frags: Vec<Fragment> = (0..payload.len())
+            .step_by(mtu)
+            .map(|start| {
+                let end = (start + mtu).min(payload.len());
+                Fragment {
+                    initiator: self.src,
+                    op_id,
+                    dst_vaddr: vaddr,
+                    op_total_len: total,
+                    offset: offset + start,
+                    data: payload.slice(start..end),
+                }
+            })
+            .collect();
+        if let DeliveryOrder::OutOfOrder { .. } = self.shared.order {
+            frags.shuffle(&mut *self.shared.rng.lock());
+        }
+        queue
+            .push(WireMsg::DeliverBatch {
+                dest,
+                frags,
+                nacks: self.nacks.clone(),
+                notify,
+            })
+            .map_err(|_| RvmaError::UnknownDestination)?;
+        telemetry::record(
+            &self.shared.telemetry,
+            EventKind::RingEnqueue,
+            src_key,
+            op_id,
+            queue_idx as u64,
+        );
+        Ok(())
+    }
+
     fn submit(
         &self,
         dest: NodeAddr,
@@ -1257,6 +1396,7 @@ impl AsyncInitiator {
         if data.len() <= mtu {
             // Inline fast path: one fragment, no fragment vector, no
             // shuffle. Zero-length puts take this path too.
+            self.staged.fetch_add(data.len() as u64, Ordering::Relaxed);
             let frag = Fragment {
                 initiator: self.src,
                 op_id,
@@ -1305,6 +1445,7 @@ impl AsyncInitiator {
     /// Split a multi-MTU payload into fragments (pooled copy, zero-copy
     /// slices), shuffled when the network is `OutOfOrder`.
     fn fragment(&self, vaddr: VirtAddr, op_id: u64, offset: usize, data: &[u8]) -> Vec<Fragment> {
+        self.staged.fetch_add(data.len() as u64, Ordering::Relaxed);
         let payload = self.pool.acquire(data);
         let total = payload.len() as u64;
         let mtu = self.shared.mtu;
@@ -1351,6 +1492,7 @@ impl AsyncInitiator {
             op_id,
             data.len() as u64,
         );
+        self.staged.fetch_add(data.len() as u64, Ordering::Relaxed);
         let payload = Bytes::copy_from_slice(data);
         let total = payload.len() as u64;
         let mtu = self.shared.mtu;
@@ -1441,6 +1583,12 @@ impl AsyncInitiator {
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
+
+    /// Total payload bytes this initiator copied into staging storage
+    /// (eager-lane pool acquisitions); the zero-copy lane adds nothing.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged.load(Ordering::Relaxed)
+    }
 }
 
 impl crate::transport::Transport for AsyncInitiator {
@@ -1452,6 +1600,16 @@ impl crate::transport::Transport for AsyncInitiator {
         AsyncInitiator::put_at(self, dest, vaddr, offset, data)
     }
 
+    fn put_bytes_at(
+        &self,
+        dest: NodeAddr,
+        vaddr: VirtAddr,
+        offset: usize,
+        data: Bytes,
+    ) -> Result<()> {
+        AsyncInitiator::put_bytes_at(self, dest, vaddr, offset, data)
+    }
+
     fn flush(&self) -> Result<()> {
         quiesce_shared(&self.shared);
         Ok(())
@@ -1459,6 +1617,10 @@ impl crate::transport::Transport for AsyncInitiator {
 
     fn take_nacks(&self) -> Vec<(VirtAddr, NackReason)> {
         AsyncInitiator::take_nacks(self)
+    }
+
+    fn staged_bytes(&self) -> u64 {
+        AsyncInitiator::staged_bytes(self)
     }
 }
 
@@ -1531,6 +1693,9 @@ impl PutBatch<'_> {
         );
         let group = &mut self.groups[group_idx].2;
         if data.len() <= self.init.shared.mtu {
+            self.init
+                .staged
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
             group.push(Fragment {
                 initiator: self.init.src,
                 op_id,

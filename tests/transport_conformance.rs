@@ -420,6 +420,407 @@ fn async_blocking_coexist_on_shm() {
 }
 
 // ---------------------------------------------------------------------------
+// Large-message datapath: eager vs zero-copy/rendezvous lanes.
+// ---------------------------------------------------------------------------
+
+/// Lane forcing through [`EndpointConfig::eager_threshold`]: `usize::MAX`
+/// stages every put (the pre-rendezvous behaviour, the A/B baseline);
+/// `0` sends every non-empty put down the zero-copy lane (shared-`Bytes`
+/// slices in-process, bulk-extent rendezvous over shm).
+const LANES: [(&str, usize); 2] = [("eager", usize::MAX), ("zerocopy", 0)];
+
+/// 256 KiB puts through drop/dup/delay faults, byte-exact on every
+/// backend and both lanes — the large-message half of the fault matrix.
+#[test]
+fn large_payload_byte_exact_both_lanes_under_faults() {
+    const EPOCHS: usize = 2;
+    const LEN: usize = 256 * 1024;
+    const MTU: usize = 4096;
+    let models = [
+        (
+            "drop",
+            FaultModel {
+                drop_p: 0.05,
+                ..FaultModel::NONE
+            },
+        ),
+        (
+            "dup",
+            FaultModel {
+                dup_p: 0.05,
+                ..FaultModel::NONE
+            },
+        ),
+        (
+            "delay",
+            FaultModel {
+                delay_p: 0.10,
+                delay_spans: 3,
+                ..FaultModel::NONE
+            },
+        ),
+    ];
+    for backend in BACKENDS {
+        for (lane, threshold) in LANES {
+            for (fname, model) in models {
+                for seed in SEEDS {
+                    let mut cfg = faulted_cfg(model, seed);
+                    cfg.eager_threshold = threshold;
+                    let Some((_h, ep, t)) = fixture(backend, MTU, cfg) else {
+                        continue;
+                    };
+                    let win = ep
+                        .init_window(MAILBOX, Threshold::bytes(LEN as u64))
+                        .unwrap();
+                    for e in 0..EPOCHS {
+                        let mut note = win.post_buffer(vec![0u8; LEN]).unwrap();
+                        let payload: Vec<u8> = (0..LEN)
+                            .map(|i| ((e * 131 + i * 7 + 3) % 251) as u8)
+                            .collect();
+                        t.put_bytes_at(
+                            SERVER,
+                            MAILBOX,
+                            0,
+                            rvma::core::Bytes::copy_from_slice(&payload),
+                        )
+                        .unwrap_or_else(|err| {
+                            panic!("[{backend}/{lane}/{fname} seed={seed}] put failed: {err:?}")
+                        });
+                        t.flush().unwrap_or_else(|err| {
+                            panic!("[{backend}/{lane}/{fname} seed={seed}] flush failed: {err:?}")
+                        });
+                        let buf = note.poll().unwrap_or_else(|| {
+                            panic!(
+                                "[{backend}/{lane}/{fname} seed={seed}] epoch {e} \
+                                 incomplete after flush"
+                            )
+                        });
+                        assert_eq!(
+                            buf.data(),
+                            payload.as_slice(),
+                            "[{backend}/{lane}/{fname} seed={seed}] epoch {e}: bytes corrupted"
+                        );
+                    }
+                    assert!(
+                        t.take_nacks().is_empty(),
+                        "[{backend}/{lane}/{fname} seed={seed}] spurious NACKs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One lockstep large-payload faulted run on the zero-copy lane; returns
+/// the canonical telemetry sequence (recorder choice as in `replay_run`).
+fn large_replay_run(
+    backend: &str,
+    seed: u64,
+) -> Option<Vec<(rvma::core::EventKind, u64, u64, u64)>> {
+    const EPOCHS: usize = 3;
+    const LEN: usize = 64 * 1024;
+    let model = FaultModel {
+        drop_p: 0.10,
+        dup_p: 0.10,
+        ..FaultModel::NONE
+    };
+    let mut cfg = faulted_cfg(model, seed);
+    cfg.eager_threshold = 0;
+    cfg.telemetry = matches!(backend, "inline-lossy" | "shm");
+    let (holder, ep, t) = fixture(backend, 4096, cfg)?;
+    let recorder: Arc<Telemetry> = match &holder {
+        Holder::Inline(net) => net.telemetry().expect("inline telemetry on"),
+        Holder::Threaded(_) => {
+            let rec = Arc::new(Telemetry::new());
+            ep.attach_telemetry(rec.clone());
+            rec
+        }
+        Holder::Shm(server) => server.telemetry().expect("shm telemetry on"),
+    };
+    let win = ep
+        .init_window(MAILBOX, Threshold::bytes(LEN as u64))
+        .unwrap();
+    for e in 0..EPOCHS {
+        let mut note = win.post_buffer(vec![0u8; LEN]).unwrap();
+        let payload = vec![(e + 1) as u8; LEN];
+        t.put_bytes_at(
+            SERVER,
+            MAILBOX,
+            0,
+            rvma::core::Bytes::copy_from_slice(&payload),
+        )
+        .unwrap();
+        t.flush().unwrap();
+        note.poll().expect("epoch complete after flush");
+    }
+    let snap = recorder.snapshot();
+    assert_eq!(snap.dropped, 0, "[{backend}] replay run overflowed a shard");
+    Some(snap.canonical_sequence())
+}
+
+/// Same seed ⇒ identical canonical event stream on the zero-copy lane —
+/// rendezvous reserve/deliver/release events included.
+#[test]
+fn large_payload_same_seed_replay_identity() {
+    for backend in BACKENDS {
+        for seed in SEEDS {
+            let Some(a) = large_replay_run(backend, seed) else {
+                continue;
+            };
+            let b = large_replay_run(backend, seed).expect("second run of a runnable backend");
+            assert!(!a.is_empty(), "[{backend} seed={seed}] recorded nothing");
+            assert_eq!(
+                a, b,
+                "[{backend} seed={seed}] same-seed zero-copy runs diverged"
+            );
+        }
+    }
+}
+
+/// Copies-per-byte accounting per backend and lane. The receiver gather
+/// (`bytes_copied`, equal to accepted bytes) is the one unavoidable copy;
+/// `staged_bytes` counts initiator-side staging on top of it:
+///
+/// * threaded/inline zero-copy: staged = 0  → exactly **1** copy/byte;
+/// * threaded/inline eager:     staged = N  → 2 copies/byte;
+/// * shm rendezvous: staged = N (extent write), wire = 0 → 2 copies/byte;
+/// * shm eager: staged = N (slot write), wire = N (slot → `Bytes`) → 3.
+#[test]
+fn copies_per_byte_accounting_per_lane() {
+    const LEN: usize = 128 * 1024;
+    for backend in BACKENDS {
+        for (lane, threshold) in LANES {
+            let mut cfg = faulted_cfg(FaultModel::NONE, 11);
+            cfg.eager_threshold = threshold;
+            let Some((holder, ep, t)) = fixture(backend, 4096, cfg) else {
+                continue;
+            };
+            let win = ep
+                .init_window(MAILBOX, Threshold::bytes(LEN as u64))
+                .unwrap();
+            let mut note = win.post_buffer(vec![0u8; LEN]).unwrap();
+            let payload = rvma::core::Bytes::from(vec![0xCD; LEN]);
+            t.put_bytes_at(SERVER, MAILBOX, 0, payload).unwrap();
+            t.flush().unwrap();
+            note.poll().expect("epoch complete");
+            let stats = ep.stats();
+            assert_eq!(
+                stats.bytes_copied, LEN as u64,
+                "[{backend}/{lane}] gather copy must equal accepted bytes"
+            );
+            let staged = t.staged_bytes();
+            let wire = match &holder {
+                Holder::Shm(server) => server.wire_copied(),
+                _ => 0,
+            };
+            let copies = (staged + wire + stats.bytes_copied) as f64 / stats.bytes_accepted as f64;
+            let expected = match (backend, lane) {
+                ("shm", "eager") => 3.0,
+                ("shm", "zerocopy") => 2.0,
+                (_, "eager") => 2.0,
+                (_, "zerocopy") => 1.0,
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                copies, expected,
+                "[{backend}/{lane}] staged={staged} wire={wire} \
+                 gathered={} accepted={}",
+                stats.bytes_copied, stats.bytes_accepted
+            );
+            if lane == "zerocopy" && backend != "shm" {
+                assert_eq!(staged, 0, "[{backend}] zero-copy lane staged bytes");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-buffer boundary audit (offset/overhang semantics, len > MTU).
+// ---------------------------------------------------------------------------
+
+const BOUND_BUF: usize = 1024;
+const BOUND_MTU: usize = 64;
+
+/// Exact fit ending at the last byte of the buffer: every backend and
+/// both lanes must deliver byte-exact with zero NACKs.
+#[test]
+fn boundary_exact_fit_to_buffer_end() {
+    const LEN: usize = 3 * BOUND_MTU; // > MTU: exercises fragmentation
+    for backend in BACKENDS {
+        for (lane, threshold) in LANES {
+            let mut cfg = faulted_cfg(FaultModel::NONE, 21);
+            cfg.eager_threshold = threshold;
+            let Some((_h, ep, t)) = fixture(backend, BOUND_MTU, cfg) else {
+                continue;
+            };
+            let win = ep
+                .init_window(MAILBOX, Threshold::bytes(LEN as u64))
+                .unwrap();
+            let mut note = win.post_buffer(vec![0u8; BOUND_BUF]).unwrap();
+            let payload: Vec<u8> = (0..LEN).map(|i| (i % 249 + 1) as u8).collect();
+            t.put_bytes_at(
+                SERVER,
+                MAILBOX,
+                BOUND_BUF - LEN,
+                rvma::core::Bytes::copy_from_slice(&payload),
+            )
+            .unwrap();
+            t.flush().unwrap();
+            let buf = note
+                .poll()
+                .unwrap_or_else(|| panic!("[{backend}/{lane}] exact-fit epoch incomplete"));
+            let full = buf.full_buffer();
+            assert_eq!(&full[BOUND_BUF - LEN..], payload.as_slice());
+            assert!(
+                full[..BOUND_BUF - LEN].iter().all(|&b| b == 0),
+                "[{backend}/{lane}] bytes before the put's offset disturbed"
+            );
+            assert!(t.take_nacks().is_empty(), "[{backend}/{lane}]");
+        }
+    }
+}
+
+/// One-fragment overhang on the **eager** lane: fragments are discarded
+/// whole at the boundary, so the in-bounds prefix lands and the
+/// overhanging fragment NACKs `OutOfBounds`. (On the zero-copy/rendezvous
+/// lane the put may be a single gather, in which case the whole put is
+/// refused — covered by `boundary_overhang_zero_copy_refuses`.)
+#[test]
+fn boundary_one_fragment_overhang_eager() {
+    const LEN: usize = 3 * BOUND_MTU;
+    const IN_BOUNDS: usize = 2 * BOUND_MTU;
+    let offset = BOUND_BUF - IN_BOUNDS;
+    for backend in BACKENDS {
+        let mut cfg = faulted_cfg(FaultModel::NONE, 22);
+        cfg.eager_threshold = usize::MAX;
+        let Some((_h, ep, t)) = fixture(backend, BOUND_MTU, cfg) else {
+            continue;
+        };
+        // Threshold = whole buffer so the epoch stays open while the
+        // overhang is refused (a smaller threshold would rotate the
+        // buffer out from under the trailing fragment → NoBufferPosted).
+        let win = ep
+            .init_window(MAILBOX, Threshold::bytes(BOUND_BUF as u64))
+            .unwrap();
+        let mut note = win.post_buffer(vec![0u8; BOUND_BUF]).unwrap();
+        let payload: Vec<u8> = (0..LEN).map(|i| (i % 247 + 1) as u8).collect();
+        t.put_at(SERVER, MAILBOX, offset, &payload).unwrap();
+        t.flush().unwrap();
+        // NACK count is backend-specific (the inline initiator aborts at
+        // the first synchronous refusal; async backends NACK each
+        // overhanging fragment) — the contract is "at least one, all
+        // OutOfBounds".
+        let nacks = t.take_nacks();
+        assert!(!nacks.is_empty(), "[{backend}] overhang must NACK");
+        assert!(
+            nacks
+                .iter()
+                .all(|(va, r)| *va == MAILBOX && *r == NackReason::OutOfBounds),
+            "[{backend}] wrong NACK shape: {nacks:?}"
+        );
+        // Fill the rest of the buffer with a clean put: the epoch then
+        // completes, proving exactly the in-bounds prefix of the faulty
+        // put landed (fragments are discarded whole at the boundary).
+        let filler: Vec<u8> = (0..offset).map(|i| (i % 13) as u8).collect();
+        t.put_at(SERVER, MAILBOX, 0, &filler).unwrap();
+        t.flush().unwrap();
+        let buf = note
+            .poll()
+            .unwrap_or_else(|| panic!("[{backend}] filler put never completed the epoch"));
+        let full = buf.full_buffer();
+        assert_eq!(
+            &full[offset..],
+            &payload[..IN_BOUNDS],
+            "[{backend}] in-bounds fragments corrupted"
+        );
+        assert_eq!(&full[..offset], filler.as_slice(), "[{backend}] filler");
+        assert!(t.take_nacks().is_empty(), "[{backend}] clean put NACKed");
+    }
+}
+
+/// Fully out-of-bounds puts (starting at `buffer_len - 1` and at exactly
+/// `buffer_len`, len > MTU): no byte may land, and the refusal surfaces.
+#[test]
+fn boundary_out_of_bounds_start_eager() {
+    const LEN: usize = 2 * BOUND_MTU;
+    for backend in BACKENDS {
+        for start in [BOUND_BUF - 1, BOUND_BUF] {
+            let mut cfg = faulted_cfg(FaultModel::NONE, 23);
+            cfg.eager_threshold = usize::MAX;
+            let Some((_h, ep, t)) = fixture(backend, BOUND_MTU, cfg) else {
+                continue;
+            };
+            let win = ep.init_window(MAILBOX, Threshold::bytes(1)).unwrap();
+            let mut note = win.post_buffer(vec![0x5Au8; BOUND_BUF]).unwrap();
+            t.put_at(SERVER, MAILBOX, start, &[0xFF; LEN]).unwrap();
+            t.flush().unwrap();
+            let nacks = t.take_nacks();
+            assert!(
+                !nacks.is_empty(),
+                "[{backend} start={start}] OOB put must NACK"
+            );
+            assert!(
+                nacks
+                    .iter()
+                    .all(|(va, r)| *va == MAILBOX && *r == NackReason::OutOfBounds),
+                "[{backend} start={start}] wrong NACK shape: {nacks:?}"
+            );
+            assert!(
+                note.poll().is_none(),
+                "[{backend} start={start}] no byte may land, epoch must not complete"
+            );
+            let stats = ep.stats();
+            assert_eq!(
+                stats.bytes_accepted, 0,
+                "[{backend} start={start}] accepted bytes from an OOB put"
+            );
+        }
+    }
+}
+
+/// Overhang on the zero-copy lane: whatever the fragment geometry (MTU
+/// slices in-process, one rendezvous gather over shm), the overhang is
+/// refused with `OutOfBounds` and the put never corrupts bytes past the
+/// buffer end.
+#[test]
+fn boundary_overhang_zero_copy_refuses() {
+    const LEN: usize = 3 * BOUND_MTU;
+    const IN_BOUNDS: usize = 2 * BOUND_MTU;
+    let offset = BOUND_BUF - IN_BOUNDS;
+    for backend in BACKENDS {
+        let mut cfg = faulted_cfg(FaultModel::NONE, 24);
+        cfg.eager_threshold = 0;
+        let Some((_h, ep, t)) = fixture(backend, BOUND_MTU, cfg) else {
+            continue;
+        };
+        // Threshold the in-bounds prefix cannot reach — the buffer must
+        // still be posted when the overhang arrives, so the refusal is
+        // OutOfBounds (not a post-rotation NoBufferPosted).
+        let win = ep
+            .init_window(MAILBOX, Threshold::bytes(LEN as u64))
+            .unwrap();
+        let _note = win.post_buffer(vec![0u8; BOUND_BUF]).unwrap();
+        let payload: Vec<u8> = (0..LEN).map(|i| (i % 245 + 1) as u8).collect();
+        t.put_bytes_at(
+            SERVER,
+            MAILBOX,
+            offset,
+            rvma::core::Bytes::copy_from_slice(&payload),
+        )
+        .unwrap();
+        t.flush().unwrap();
+        let nacks = t.take_nacks();
+        assert!(!nacks.is_empty(), "[{backend}] overhang must NACK");
+        assert!(
+            nacks
+                .iter()
+                .all(|(va, r)| *va == MAILBOX && *r == NackReason::OutOfBounds),
+            "[{backend}] wrong NACK shape: {nacks:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The real thing: two OS processes, one segment.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,128 @@
+//! Mutation tests: prove the checker *catches* the bug class each
+//! protocol ordering exists to prevent.
+//!
+//! Each seeded [`Mutation`] weakens one ordering in the production code
+//! (see `csync::Mutation` for the catalogue) — but only inside an
+//! execution whose [`Options::mutations`] lists it. The same model
+//! programs that pass exhaustively in [`super::models`] (the clean
+//! baselines) are re-explored with one mutation switched on; the
+//! exploration must now fail, with the *expected* failure kind, and both
+//! the reported schedule and its greedily minimized variant must replay
+//! to the same failure — the end-to-end debug loop a real
+//! counterexample would go through.
+
+use super::models::{
+    cq_spill_episode_model, notify_poll_model, notify_wait_model, ring_partition_model,
+    seqlock_read_vs_publish_model,
+};
+use super::{explore, replay, Failure, FailureKind, Mutation, Options};
+
+fn with_mutation(mutation: Mutation) -> Options {
+    Options {
+        mutations: vec![mutation],
+        ..Options::default()
+    }
+}
+
+/// Explore `model` with `mutation` active; the checker must find a
+/// counterexample of kind `expect`, and both the reported and minimized
+/// schedules must deterministically replay it.
+fn expect_caught(name: &str, mutation: Mutation, expect: FailureKind, model: fn()) {
+    let opts = with_mutation(mutation);
+    let failure: Box<Failure> = match explore(opts.clone(), model) {
+        Err(failure) => failure,
+        Ok(report) => panic!(
+            "{name}: mutation {mutation:?} survived {} exhaustive schedules",
+            report.schedules
+        ),
+    };
+    assert_eq!(
+        failure.kind, expect,
+        "{name}: wrong failure kind for {mutation:?}: {failure:?}"
+    );
+    println!(
+        "{name}: {mutation:?} caught as {:?} after {} schedules; schedule {:?} (minimized {:?})",
+        failure.kind, failure.schedules_before, failure.schedule, failure.minimized
+    );
+
+    let replayed = replay(&failure.schedule, opts.clone(), model)
+        .expect_err("the reported schedule must reproduce the failure");
+    assert_eq!(replayed.kind, expect, "{name}: replay diverged");
+
+    let minimized = failure
+        .minimized
+        .as_ref()
+        .expect("a minimized schedule is always reported");
+    let replayed_min = replay(minimized, opts, model)
+        .expect_err("the minimized schedule must still reproduce the failure");
+    assert_eq!(
+        replayed_min.kind, expect,
+        "{name}: minimized replay diverged"
+    );
+}
+
+/// Completing swap demoted to `Relaxed`: the consumer's acquire on the
+/// state flag no longer brings the payload write into view — the vector
+/// clocks flag the payload handoff as a data race even though the
+/// serialized execution never corrupts it.
+#[test]
+fn relaxed_completing_swap_is_caught() {
+    expect_caught(
+        "relaxed_completing_swap",
+        Mutation::RelaxedCompletingSwap,
+        FailureKind::DataRace,
+        notify_poll_model,
+    );
+}
+
+/// Waiter count read *before* the completing swap: the classic Dekker
+/// inversion. A consumer that registers and parks in the window between
+/// the early read and the swap is never woken — a modeled deadlock.
+#[test]
+fn waiters_check_before_swap_is_caught() {
+    expect_caught(
+        "waiters_check_before_swap",
+        Mutation::WaitersCheckBeforeSwap,
+        FailureKind::Deadlock,
+        notify_wait_model,
+    );
+}
+
+/// Ring slot sequence published with `Relaxed`: the consumer can observe
+/// the "ready" sequence without the slot payload being ordered before
+/// it — a data race on the slot cell.
+#[test]
+fn ring_publish_relaxed_is_caught() {
+    expect_caught(
+        "ring_publish_relaxed",
+        Mutation::RingPublishRelaxed,
+        FailureKind::DataRace,
+        ring_partition_model,
+    );
+}
+
+/// Seqlock write lock skipped: a reader interleaved mid-publish sees a
+/// torn route — new key fields validated against the stale queue — and
+/// the model's wrong-queue assertion fires.
+#[test]
+fn seqlock_torn_publish_is_caught() {
+    expect_caught(
+        "seqlock_torn_publish",
+        Mutation::SeqlockTornPublish,
+        FailureKind::Panic,
+        seqlock_read_vs_publish_model,
+    );
+}
+
+/// Overflow-episode check skipped on push: a late completion can land in
+/// the ring and be polled ahead of an entry already sitting in the spill
+/// queue — the PR-8 FIFO regression, rediscovered by enumeration.
+#[test]
+fn cq_spill_bypass_is_caught() {
+    expect_caught(
+        "cq_spill_bypass",
+        Mutation::CqSpillBypass,
+        FailureKind::Panic,
+        cq_spill_episode_model,
+    );
+}

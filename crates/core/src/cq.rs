@@ -32,14 +32,14 @@
 //!   completer wakes directly.
 
 use crate::buffer::CompletedBuffer;
+use crate::csync::{self, AtomicBool, AtomicU32, AtomicU64, Condvar, Mutation, Mutex};
 use crate::notify::AtomicWaker;
 use crate::ring::{PushError, RingQueue};
 use crate::telemetry::{self, EventKind, Histogram, Telemetry};
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64 as CounterU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
@@ -104,11 +104,14 @@ struct CqInner {
     /// Serialises `poll_batch` callers: the Vyukov ring is single-consumer.
     /// Consumer-side only — the completion hot path never touches it.
     consumer: Mutex<ConsumerState>,
-    enqueued: AtomicU64,
-    delivered: AtomicU64,
-    overflowed: AtomicU64,
-    wakes: AtomicU64,
-    empty_polls: AtomicU64,
+    // Monitoring counters stay plain `std` atomics: they carry no
+    // ordering obligations, and keeping them out of the checker's
+    // instrumented op stream keeps model schedule spaces small.
+    enqueued: CounterU64,
+    delivered: CounterU64,
+    overflowed: CounterU64,
+    wakes: CounterU64,
+    empty_polls: CounterU64,
     /// Event recorder, armed lazily by the first attached traced window.
     telemetry: OnceLock<Arc<Telemetry>>,
 }
@@ -129,7 +132,7 @@ impl CqInner {
         // Open spill episode: join the back of the overflow list rather
         // than jumping a spilled predecessor via the ring (the episode may
         // have ended while we took the lock — re-check under it).
-        if self.spilling.load(Ordering::Acquire) {
+        if !csync::mutation(Mutation::CqSpillBypass) && self.spilling.load(Ordering::Acquire) {
             let mut overflow = self.overflow.lock();
             if self.spilling.load(Ordering::Relaxed) {
                 overflow.push_back(entry.take().expect("unspilled entry"));
@@ -166,6 +169,16 @@ impl CqInner {
             return Some(e);
         }
         if !self.spilling.load(Ordering::Acquire) {
+            return None;
+        }
+        // `try_pop() == None` does not mean the ring is drained: a producer
+        // preempted between claiming a slot and publishing its sequence
+        // leaves the ring non-empty but momentarily unpoppable — and a
+        // *published* entry behind that claim would then be overtaken by
+        // anything we take from the spill list (per-producer FIFO breaks:
+        // found by the rvma-check enumeration, see DESIGN.md §14). Report
+        // empty and let the caller retry until the claim publishes.
+        if !self.ready.is_empty() {
             return None;
         }
         let mut overflow = self.overflow.lock();
@@ -217,11 +230,11 @@ impl CompletionQueue {
                     batch_hist: Histogram::new(),
                     poll_seq: 0,
                 }),
-                enqueued: AtomicU64::new(0),
-                delivered: AtomicU64::new(0),
-                overflowed: AtomicU64::new(0),
-                wakes: AtomicU64::new(0),
-                empty_polls: AtomicU64::new(0),
+                enqueued: CounterU64::new(0),
+                delivered: CounterU64::new(0),
+                overflowed: CounterU64::new(0),
+                wakes: CounterU64::new(0),
+                empty_polls: CounterU64::new(0),
                 telemetry: OnceLock::new(),
             }),
         }
@@ -292,7 +305,7 @@ impl CompletionQueue {
             return n;
         }
         let deadline = Instant::now() + timeout;
-        for spins in 0..CQ_SPIN_LIMIT {
+        for spins in 0..csync::spin_budget(CQ_SPIN_LIMIT) {
             if self.inner.entries.load(Ordering::SeqCst) > 0 {
                 let n = self.poll_batch(max, out);
                 if n > 0 {
@@ -303,9 +316,9 @@ impl CompletionQueue {
                 if Instant::now() >= deadline {
                     return 0;
                 }
-                std::thread::yield_now();
+                csync::thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                csync::spin_loop();
             }
         }
         loop {

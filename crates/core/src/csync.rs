@@ -1,0 +1,519 @@
+//! `csync` — the crate's single seam between production synchronization
+//! primitives and the `rvma-check` model checker.
+//!
+//! Every lock-free module (`ring`, `notify`, `cq`, the seqlock route
+//! cache in `transport_threaded`, the telemetry shards) takes its
+//! atomics, `UnsafeCell`s, locks, park/unpark and spin hints from here
+//! instead of `std`/`parking_lot` directly.
+//!
+//! * **Default build** (no `check` feature): everything is a plain
+//!   re-export or a `#[repr(transparent)]` `#[inline(always)]` wrapper —
+//!   zero cost, the hot path compiles to exactly the code it did before
+//!   (guarded by the `put_latency --quick` overhead check in CI).
+//! * **`--features check`**: the same names become instrumented wrappers
+//!   that, *when the calling thread belongs to an active
+//!   [`check`](crate::check) execution*, funnel every operation through
+//!   the cooperative scheduler (a DFS choice point per op) and the
+//!   vector-clock race detector. Outside an execution they fall through
+//!   to the real operation, so regular tests behave identically under
+//!   either feature set.
+//!
+//! The [`Mutation`] enum is the seeded bad-ordering registry for the
+//! mutation-test harness: production code asks [`mutation`] whether a
+//! specific known-bad weakening is active. In default builds this is
+//! `const false` and folds away entirely.
+
+/// Seeded bad orderings for the mutation-test harness. Each names a
+/// specific weakening of a load-bearing ordering in production code; a
+/// checker execution activates one via `check::Options::mutations` and
+/// the corresponding test proves the checker catches it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// `NotificationSlot::complete`: perform the completing
+    /// EMPTY→COMPLETE swap `Relaxed` instead of `SeqCst` — breaks the
+    /// payload-publication happens-before edge.
+    RelaxedCompletingSwap,
+    /// `NotificationSlot::complete`: read the waiter count *before* the
+    /// completing swap (inverting the Dekker store→load order) — a
+    /// waiter that registers between the two is never woken.
+    WaitersCheckBeforeSwap,
+    /// `RingQueue::try_push`: publish the slot sequence `Relaxed`
+    /// instead of `Release` — the consumer can read an unpublished
+    /// payload.
+    RingPublishRelaxed,
+    /// `RouteSlot::publish`: skip the odd-sequence write lock and store
+    /// the fields directly — readers can observe a torn route.
+    SeqlockTornPublish,
+    /// `CompletionQueue::push`: ignore the spill-episode flag and push
+    /// straight to the ring — re-creates the pre-PR-8 FIFO inversion
+    /// across overflow episodes.
+    CqSpillBypass,
+}
+
+impl Mutation {
+    #[cfg_attr(not(feature = "check"), allow(dead_code))]
+    pub(crate) fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+}
+
+#[cfg(not(feature = "check"))]
+mod imp {
+    use std::cell::UnsafeCell;
+
+    pub(crate) use parking_lot::{Condvar, Mutex};
+    // Re-exported so check/non-check call sites can name the same types;
+    // most code only uses them implicitly through `lock()`/`wait_until()`.
+    #[allow(unused_imports)]
+    pub(crate) use parking_lot::{MutexGuard, WaitTimeoutResult};
+    pub(crate) use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    };
+
+    pub(crate) mod thread {
+        pub(crate) use std::thread::{current, park, yield_now, Thread};
+    }
+
+    #[inline(always)]
+    pub(crate) fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    /// Spin budgets shrink to near-zero under an active model (spinning
+    /// is modeled as blocking); in real builds they pass through.
+    #[inline(always)]
+    pub(crate) fn spin_budget(n: u32) -> u32 {
+        n
+    }
+
+    /// Seeded mutations never fire outside the checker.
+    #[inline(always)]
+    pub(crate) fn mutation(_m: super::Mutation) -> bool {
+        false
+    }
+
+    /// Transparent `UnsafeCell`: the checker's plain-memory hook, free in
+    /// real builds.
+    #[repr(transparent)]
+    pub(crate) struct CheckCell<T>(UnsafeCell<T>);
+
+    impl<T> CheckCell<T> {
+        #[inline(always)]
+        pub(crate) const fn new(v: T) -> Self {
+            CheckCell(UnsafeCell::new(v))
+        }
+
+        /// Shared access to the cell's raw pointer. The *caller* is
+        /// responsible for the aliasing discipline, exactly as with
+        /// `UnsafeCell::get`; the checker build verifies it.
+        #[inline(always)]
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Exclusive access to the cell's raw pointer (same contract).
+        #[inline(always)]
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+#[cfg(feature = "check")]
+mod imp {
+    use crate::check::{with_active, AtomKind, Execution};
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn ctx() -> Option<(Arc<Execution>, usize)> {
+        with_active(|e, me| (e.clone(), me))
+    }
+
+    /// Seeded mutations fire only inside an execution that listed them.
+    #[inline]
+    pub(crate) fn mutation(m: super::Mutation) -> bool {
+        crate::check::mutation_active(m)
+    }
+
+    #[inline]
+    pub(crate) fn spin_budget(n: u32) -> u32 {
+        if ctx().is_some() {
+            n.min(2)
+        } else {
+            n
+        }
+    }
+
+    pub(crate) fn spin_loop() {
+        match ctx() {
+            Some((e, me)) => e.spin_yield(me),
+            None => std::hint::spin_loop(),
+        }
+    }
+
+    pub(crate) fn fence(ord: Ordering) {
+        match ctx() {
+            Some((e, me)) => {
+                e.schedule_point(me);
+                std::sync::atomic::fence(ord);
+                e.op_done(me, 0, AtomKind::Fence, ord);
+            }
+            None => std::sync::atomic::fence(ord),
+        }
+    }
+
+    macro_rules! check_atomic {
+        ($name:ident, $raw:ident, $prim:ty) => {
+            /// Instrumented atomic: schedule point before the operation,
+            /// shadow-clock bookkeeping after. Falls through to the real
+            /// op outside an active execution.
+            #[derive(Debug, Default)]
+            pub(crate) struct $name {
+                real: std::sync::atomic::$raw,
+            }
+
+            #[allow(dead_code)]
+            impl $name {
+                pub(crate) const fn new(v: $prim) -> Self {
+                    $name {
+                        real: std::sync::atomic::$raw::new(v),
+                    }
+                }
+
+                fn addr(&self) -> usize {
+                    self as *const _ as usize
+                }
+
+                #[inline]
+                fn instr<R>(&self, kind: AtomKind, ord: Ordering, f: impl FnOnce() -> R) -> R {
+                    match ctx() {
+                        Some((e, me)) => {
+                            e.schedule_point(me);
+                            let r = f();
+                            e.op_done(me, self.addr(), kind, ord);
+                            r
+                        }
+                        None => f(),
+                    }
+                }
+
+                pub(crate) fn load(&self, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Load, ord, || self.real.load(ord))
+                }
+
+                pub(crate) fn store(&self, v: $prim, ord: Ordering) {
+                    self.instr(AtomKind::Store, ord, || self.real.store(v, ord))
+                }
+
+                pub(crate) fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Rmw, ord, || self.real.swap(v, ord))
+                }
+
+                pub(crate) fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match ctx() {
+                        Some((e, me)) => {
+                            e.schedule_point(me);
+                            let r = self.real.compare_exchange(cur, new, ok, err);
+                            // A failed CAS is a load with the failure
+                            // ordering; a successful one is an RMW.
+                            match r {
+                                Ok(_) => e.op_done(me, self.addr(), AtomKind::Rmw, ok),
+                                Err(_) => e.op_done(me, self.addr(), AtomKind::Load, err),
+                            }
+                            r
+                        }
+                        None => self.real.compare_exchange(cur, new, ok, err),
+                    }
+                }
+
+                /// Under the model, "weak" failure is indistinguishable
+                /// from strong (no spurious failures to enumerate — the
+                /// retry loop around it is exercised via genuine
+                /// contention instead).
+                pub(crate) fn compare_exchange_weak(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(cur, new, ok, err)
+                }
+            }
+        };
+    }
+
+    /// Integer-only RMW methods, appended to the shared surface.
+    macro_rules! check_atomic_int {
+        ($name:ident, $prim:ty) => {
+            #[allow(dead_code)]
+            impl $name {
+                pub(crate) fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Rmw, ord, || self.real.fetch_add(v, ord))
+                }
+
+                pub(crate) fn fetch_sub(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Rmw, ord, || self.real.fetch_sub(v, ord))
+                }
+
+                pub(crate) fn fetch_or(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Rmw, ord, || self.real.fetch_or(v, ord))
+                }
+
+                pub(crate) fn fetch_max(&self, v: $prim, ord: Ordering) -> $prim {
+                    self.instr(AtomKind::Rmw, ord, || self.real.fetch_max(v, ord))
+                }
+            }
+        };
+    }
+
+    check_atomic!(AtomicBool, AtomicBool, bool);
+    check_atomic!(AtomicU8, AtomicU8, u8);
+    check_atomic!(AtomicU32, AtomicU32, u32);
+    check_atomic!(AtomicU64, AtomicU64, u64);
+    check_atomic!(AtomicUsize, AtomicUsize, usize);
+    check_atomic_int!(AtomicU8, u8);
+    check_atomic_int!(AtomicU32, u32);
+    check_atomic_int!(AtomicU64, u64);
+    check_atomic_int!(AtomicUsize, usize);
+
+    /// Instrumented `UnsafeCell`: plain accesses are race-checked against
+    /// the vector clocks (not scheduling points — only sync ops branch).
+    pub(crate) struct CheckCell<T> {
+        inner: UnsafeCell<T>,
+    }
+
+    impl<T> CheckCell<T> {
+        pub(crate) const fn new(v: T) -> Self {
+            CheckCell {
+                inner: UnsafeCell::new(v),
+            }
+        }
+
+        fn note(&self, write: bool) {
+            if let Some((e, me)) = ctx() {
+                e.cell_access(
+                    me,
+                    self as *const _ as usize,
+                    write,
+                    std::any::type_name::<T>(),
+                );
+            }
+        }
+
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            self.note(false);
+            f(self.inner.get())
+        }
+
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            self.note(true);
+            f(self.inner.get())
+        }
+    }
+
+    /// Model-aware mutex: inside an execution the *model* lock provides
+    /// mutual exclusion and blocking (so contention is enumerable and
+    /// deadlocks are detected); the embedded real lock is then always
+    /// uncontended and merely carries the data.
+    pub(crate) struct Mutex<T> {
+        inner: parking_lot::Mutex<T>,
+    }
+
+    pub(crate) struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<parking_lot::MutexGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T> Mutex<T> {
+        pub(crate) const fn new(v: T) -> Self {
+            Mutex {
+                inner: parking_lot::Mutex::new(v),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            match ctx() {
+                Some((e, me)) => {
+                    e.mutex_lock(me, self.addr());
+                    MutexGuard {
+                        lock: self,
+                        inner: Some(self.inner.lock()),
+                        model: true,
+                    }
+                }
+                None => MutexGuard {
+                    lock: self,
+                    inner: Some(self.inner.lock()),
+                    model: false,
+                },
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.model {
+                // Release the real lock first so the next model owner's
+                // uncontended real acquire succeeds; `ctx()` is `None`
+                // during unwinding, making this drop abort-safe.
+                self.inner = None;
+                if let Some((e, me)) = ctx() {
+                    e.mutex_unlock(me, self.lock.addr());
+                }
+            }
+        }
+    }
+
+    pub(crate) struct Condvar {
+        inner: parking_lot::Condvar,
+    }
+
+    /// Mirror of `parking_lot::WaitTimeoutResult` for the model path.
+    #[derive(Clone, Copy, Debug)]
+    pub(crate) struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        pub(crate) fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    impl Condvar {
+        pub(crate) const fn new() -> Self {
+            Condvar {
+                inner: parking_lot::Condvar::new(),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        pub(crate) fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            match ctx() {
+                Some((e, me)) if guard.model => {
+                    let lock_addr = guard.lock.addr();
+                    guard.inner = None; // release the real lock while modeled-blocked
+                    e.cond_wait(me, self.addr(), lock_addr, false);
+                    guard.inner = Some(guard.lock.inner.lock());
+                }
+                _ => self
+                    .inner
+                    .wait(guard.inner.as_mut().expect("guard released")),
+            }
+        }
+
+        pub(crate) fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            match ctx() {
+                Some((e, me)) if guard.model => {
+                    let lock_addr = guard.lock.addr();
+                    guard.inner = None;
+                    // Model time: the timeout fires only when nothing
+                    // else can run (so timed waits never mask deadlocks).
+                    let timed_out = e.cond_wait(me, self.addr(), lock_addr, true);
+                    guard.inner = Some(guard.lock.inner.lock());
+                    WaitTimeoutResult(timed_out)
+                }
+                _ => WaitTimeoutResult(
+                    self.inner
+                        .wait_until(guard.inner.as_mut().expect("guard released"), deadline)
+                        .timed_out(),
+                ),
+            }
+        }
+
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub(crate) fn notify_one(&self) {
+            match ctx() {
+                Some((e, me)) => e.cond_notify(me, self.addr(), false),
+                None => {
+                    self.inner.notify_one();
+                }
+            }
+        }
+
+        pub(crate) fn notify_all(&self) {
+            match ctx() {
+                Some((e, me)) => e.cond_notify(me, self.addr(), true),
+                None => {
+                    self.inner.notify_all();
+                }
+            }
+        }
+    }
+
+    pub(crate) mod thread {
+        use super::ctx;
+
+        /// Model-aware thread handle: unparking a model thread routes
+        /// through the scheduler; real threads get a real unpark.
+        #[derive(Clone, Debug)]
+        pub(crate) struct Thread {
+            real: std::thread::Thread,
+            model: Option<usize>,
+        }
+
+        impl Thread {
+            pub(crate) fn unpark(&self) {
+                match (ctx(), self.model) {
+                    (Some((e, me)), Some(target)) => e.unpark(me, target),
+                    _ => self.real.unpark(),
+                }
+            }
+        }
+
+        pub(crate) fn current() -> Thread {
+            Thread {
+                real: std::thread::current(),
+                model: ctx().map(|(_, me)| me),
+            }
+        }
+
+        pub(crate) fn park() {
+            match ctx() {
+                Some((e, me)) => e.park(me),
+                None => std::thread::park(),
+            }
+        }
+
+        pub(crate) fn yield_now() {
+            match ctx() {
+                Some((e, me)) => e.spin_yield(me),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+pub(crate) use imp::*;

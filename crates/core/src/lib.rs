@@ -54,7 +54,10 @@
 pub mod addr;
 pub mod api;
 pub mod buffer;
+#[cfg(feature = "check")]
+pub mod check;
 pub mod cq;
+pub(crate) mod csync;
 pub mod endpoint;
 pub mod error;
 pub mod lut;

@@ -40,12 +40,13 @@
 
 use crate::buffer::CompletedBuffer;
 use crate::cq::CqAttachment;
+use crate::csync::{
+    self, AtomicBool, AtomicU32, AtomicU8, AtomicUsize, CheckCell, Condvar, Mutation, Mutex,
+};
 use crate::telemetry::{self, EventKind, Telemetry};
-use parking_lot::{Condvar, Mutex};
-use std::cell::UnsafeCell;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
@@ -75,7 +76,7 @@ const WAKER_WAKING: u8 = 0b10;
 /// itself. A wake is therefore never lost and never delivered twice.
 pub(crate) struct AtomicWaker {
     state: AtomicU8,
-    waker: UnsafeCell<Option<Waker>>,
+    waker: CheckCell<Option<Waker>>,
 }
 
 // SAFETY: the waker cell is accessed only inside the exclusive state-machine
@@ -88,7 +89,7 @@ impl AtomicWaker {
     pub(crate) const fn new() -> Self {
         AtomicWaker {
             state: AtomicU8::new(WAKER_IDLE),
-            waker: UnsafeCell::new(None),
+            waker: CheckCell::new(None),
         }
     }
 
@@ -104,7 +105,7 @@ impl AtomicWaker {
         ) {
             Ok(_) => {
                 // SAFETY: the REGISTERING window grants exclusive cell access.
-                unsafe { *self.waker.get() = Some(waker.clone()) };
+                self.waker.with_mut(|w| unsafe { *w = Some(waker.clone()) });
                 if self
                     .state
                     .compare_exchange(
@@ -120,7 +121,7 @@ impl AtomicWaker {
                     // to ourselves so it is not lost.
                     // SAFETY: the producer never touches the cell when it
                     // finds REGISTERING set; we still own it.
-                    let w = unsafe { (*self.waker.get()).take() };
+                    let w = self.waker.with_mut(|w| unsafe { (*w).take() });
                     self.state.store(WAKER_IDLE, Ordering::SeqCst);
                     if let Some(w) = w {
                         w.wake();
@@ -144,7 +145,7 @@ impl AtomicWaker {
             WAKER_IDLE => {
                 // SAFETY: the IDLE→WAKING transition grants exclusive
                 // access to the cell until the IDLE store below.
-                let w = unsafe { (*self.waker.get()).take() };
+                let w = self.waker.with_mut(|w| unsafe { (*w).take() });
                 self.state.store(WAKER_IDLE, Ordering::SeqCst);
                 match w {
                     Some(w) => {
@@ -168,7 +169,7 @@ impl AtomicWaker {
             .is_ok()
         {
             // SAFETY: same exclusive WAKING window as `wake`.
-            let w = unsafe { (*self.waker.get()).take() };
+            let w = self.waker.with_mut(|w| unsafe { (*w).take() });
             self.state.store(WAKER_IDLE, Ordering::SeqCst);
             w
         } else {
@@ -216,7 +217,7 @@ pub struct NotificationSlot {
     /// The completed buffer "pointer + length", transferred to the waiter.
     /// Guarded by `state`: written by the sole completer before the
     /// `COMPLETE` transition, read by the sole consumer after it.
-    payload: UnsafeCell<Option<CompletedBuffer>>,
+    payload: CheckCell<Option<CompletedBuffer>>,
     /// Pairs with `condvar` for the parked slow path. Never guards the
     /// payload (except in baseline mode, where it reproduces the old cost).
     wake: Mutex<()>,
@@ -263,7 +264,7 @@ impl NotificationSlot {
             state: AtomicU8::new(STATE_EMPTY),
             waiters: AtomicU32::new(0),
             baseline,
-            payload: UnsafeCell::new(None),
+            payload: CheckCell::new(None),
             wake: Mutex::new(()),
             condvar: Condvar::new(),
             waker: AtomicWaker::new(),
@@ -314,10 +315,10 @@ impl NotificationSlot {
                 // SAFETY: sole completer; consumers only read after the
                 // COMPLETE transition below.
                 debug_assert!(
-                    unsafe { (*self.payload.get()).is_none() },
+                    self.payload.with(|p| unsafe { (*p).is_none() }),
                     "notification slot completed twice"
                 );
-                unsafe { *self.payload.get() = Some(buf) };
+                self.payload.with_mut(|p| unsafe { *p = Some(buf) });
                 let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
                 debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
             }
@@ -332,13 +333,11 @@ impl NotificationSlot {
         // SAFETY: sole completer (mailbox lock serialises delivery; debug
         // assert below catches double-complete). No consumer reads the
         // payload until the SeqCst transition publishes it.
-        unsafe {
-            debug_assert!(
-                (*self.payload.get()).is_none(),
-                "notification slot completed twice"
-            );
-            *self.payload.get() = Some(buf);
-        }
+        debug_assert!(
+            self.payload.with(|p| unsafe { (*p).is_none() }),
+            "notification slot completed twice"
+        );
+        self.payload.with_mut(|p| unsafe { *p = Some(buf) });
         // SeqCst, not just Release: Dekker with waiter registration. Either
         // this store is ordered before the waiter's registration (then the
         // waiter's post-registration state check sees COMPLETE and never
@@ -346,10 +345,28 @@ impl NotificationSlot {
         // take the condvar path). The same pairing covers the async waker
         // (`NotifyFuture::poll` re-checks state after registering) and the
         // `multi_waiters` eventcount scope.
-        let prev = self.state.swap(STATE_COMPLETE, Ordering::SeqCst);
+        //
+        // The two `csync::mutation` branches are the seeded-bad-ordering
+        // hooks for exactly the properties this comment argues: weakening
+        // the swap loses the payload-publication edge (a data race the
+        // checker's vector clocks flag), and hoisting the waiter check
+        // above the swap re-opens the lost-wakeup window (a modeled
+        // deadlock). Both are `const false` outside `--features check`.
+        let completing_order = if csync::mutation(Mutation::RelaxedCompletingSwap) {
+            Ordering::Relaxed
+        } else {
+            Ordering::SeqCst
+        };
+        let waiters_early = if csync::mutation(Mutation::WaitersCheckBeforeSwap) {
+            Some(self.waiters.load(Ordering::SeqCst))
+        } else {
+            None
+        };
+        let prev = self.state.swap(STATE_COMPLETE, completing_order);
         debug_assert_eq!(prev, STATE_EMPTY, "notification slot completed twice");
         let mut woke = false;
-        if self.waiters.load(Ordering::SeqCst) > 0 {
+        let waiters_now = waiters_early.unwrap_or_else(|| self.waiters.load(Ordering::SeqCst));
+        if waiters_now > 0 {
             // Lock-then-unlock before notifying: a waiter that observed
             // EMPTY is either not yet inside `condvar.wait` (then it holds
             // or will take `wake`, and its re-check under the lock sees
@@ -387,20 +404,31 @@ impl NotificationSlot {
         self.state.load(Ordering::Acquire) == STATE_COMPLETE
     }
 
-    fn take_payload(&self) -> CompletedBuffer {
-        // The COMPLETE → TAKEN CAS makes the take exclusive and (Acquire)
-        // orders the payload read after the completer's write.
-        self.state
+    fn take_payload(&self) -> Option<CompletedBuffer> {
+        // The COMPLETE → TAKEN CAS elects exactly one taker and (Acquire)
+        // orders the payload read after the completer's write. A failed
+        // CAS means another handle over this slot won the election —
+        // return `None` so the loser backs off instead of panicking
+        // (two handles can coexist after a cancelled future).
+        if self
+            .state
             .compare_exchange(
                 STATE_COMPLETE,
                 STATE_TAKEN,
                 Ordering::Acquire,
                 Ordering::Relaxed,
             )
-            .expect("notification payload already taken");
+            .is_err()
+        {
+            return None;
+        }
         // SAFETY: the CAS above grants this thread sole ownership of the
         // published payload.
-        unsafe { (*self.payload.get()).take() }.expect("notification payload already taken")
+        Some(
+            self.payload
+                .with_mut(|p| unsafe { (*p).take() })
+                .expect("COMPLETE slot with no payload"),
+        )
     }
 
     /// Parked wait until the completing write, with an optional deadline.
@@ -441,9 +469,9 @@ impl NotificationSlot {
     /// pure busy-spin.
     fn spin_step(&self, spins: u32) {
         if !self.baseline && spins % 256 == 255 {
-            std::thread::yield_now();
+            csync::thread::yield_now();
         } else {
-            std::hint::spin_loop();
+            csync::spin_loop();
         }
     }
 }
@@ -562,9 +590,18 @@ impl Notification {
 
     /// The consuming take: flip `consumed`, take the payload, stamp the
     /// handoff. Every `poll`/`wait`/`wait_timeout` success funnels here.
+    /// Panics if another handle over the same slot won the take election;
+    /// blocking paths hold the only handle, so a loss there is a bug.
     fn take(&mut self) -> CompletedBuffer {
+        self.try_take().expect("notification payload already taken")
+    }
+
+    /// The election-aware take: `None` means another handle over the same
+    /// slot raced us to the `COMPLETE → TAKEN` CAS and owns the payload.
+    /// Either way this handle is spent (`consumed` flips).
+    fn try_take(&mut self) -> Option<CompletedBuffer> {
         self.consumed = true;
-        let buf = self.slot.take_payload();
+        let buf = self.slot.take_payload()?;
         telemetry::record(
             &self.telemetry,
             EventKind::NotifyHandoff,
@@ -572,7 +609,7 @@ impl Notification {
             buf.epoch(),
             buf.len() as u64,
         );
-        buf
+        Some(buf)
     }
 
     /// Non-blocking check of the completion pointer (the polling idiom).
@@ -581,7 +618,7 @@ impl Notification {
         if self.consumed || !self.slot.is_complete() {
             return None;
         }
-        Some(self.take())
+        self.try_take()
     }
 
     /// True if the completion fired, without consuming it. This is the raw
@@ -599,8 +636,9 @@ impl Notification {
     /// then park). Panics if the completion was already consumed.
     pub fn wait(&mut self) -> CompletedBuffer {
         assert!(!self.consumed, "notification already consumed");
-        // Fast path: spin on the state word.
-        for spins in 0..SPIN_LIMIT {
+        // Fast path: spin on the state word (budget collapses to ~2 under
+        // an active checker execution — spinning is modeled as blocking).
+        for spins in 0..csync::spin_budget(SPIN_LIMIT) {
             if self.slot.is_complete() {
                 return self.take();
             }
@@ -616,7 +654,7 @@ impl Notification {
     pub fn wait_timeout(&mut self, timeout: Duration) -> Option<CompletedBuffer> {
         assert!(!self.consumed, "notification already consumed");
         let deadline = Instant::now() + timeout;
-        for spins in 0..SPIN_LIMIT {
+        for spins in 0..csync::spin_budget(SPIN_LIMIT) {
             if self.slot.is_complete() {
                 return Some(self.take());
             }
@@ -732,14 +770,14 @@ pub fn wait_any(notifications: &mut [Notification]) -> Option<(usize, CompletedB
     if notifications.iter().all(Notification::is_consumed) {
         return None;
     }
-    for spins in 0..SPIN_LIMIT {
+    for spins in 0..csync::spin_budget(SPIN_LIMIT) {
         if let Some(hit) = scan(notifications) {
             return Some(hit);
         }
         if spins % 1024 == 1023 {
-            std::thread::yield_now();
+            csync::thread::yield_now();
         } else {
-            std::hint::spin_loop();
+            csync::spin_loop();
         }
     }
     loop {
@@ -776,7 +814,7 @@ pub fn wait_any_timeout(
         return None;
     }
     let deadline = Instant::now() + timeout;
-    for spins in 0..SPIN_LIMIT {
+    for spins in 0..csync::spin_budget(SPIN_LIMIT) {
         if let Some(hit) = scan(notifications) {
             return Some(hit);
         }
@@ -784,9 +822,9 @@ pub fn wait_any_timeout(
             return None;
         }
         if spins % 1024 == 1023 {
-            std::thread::yield_now();
+            csync::thread::yield_now();
         } else {
-            std::hint::spin_loop();
+            csync::spin_loop();
         }
     }
     loop {

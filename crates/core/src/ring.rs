@@ -29,12 +29,10 @@
 //! it, and the head/tail counters give each side exclusive ownership of
 //! the slot between those points.
 
-use parking_lot::Mutex;
-use std::cell::UnsafeCell;
+use crate::csync::{self, AtomicBool, AtomicUsize, CheckCell, Mutation, Mutex};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::Thread;
 
 /// Default wire-queue capacity (fragments) — generous enough that a
 /// well-provisioned run never stalls, small enough that a wedged receiver
@@ -91,7 +89,7 @@ struct Slot<T> {
     /// `index`, `index + 1` once its value is published, `index + cap`
     /// after the consumer recycles it.
     seq: AtomicUsize,
-    val: UnsafeCell<MaybeUninit<T>>,
+    val: CheckCell<MaybeUninit<T>>,
 }
 
 /// Head/tail counters live on their own cache lines so producers hammering
@@ -112,7 +110,7 @@ pub struct RingQueue<T> {
     /// True while the consumer is parked (or committing to park).
     parked: AtomicBool,
     /// The consumer thread's handle, registered once at worker start.
-    consumer: Mutex<Option<Thread>>,
+    consumer: Mutex<Option<csync::thread::Thread>>,
     /// Set after the consumer has exited; pushes fail instead of spinning
     /// forever on a ring nobody will ever drain.
     closed: AtomicBool,
@@ -141,7 +139,7 @@ impl<T> RingQueue<T> {
         let slots: Box<[Slot<T>]> = (0..cap)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
-                val: UnsafeCell::new(MaybeUninit::uninit()),
+                val: CheckCell::new(MaybeUninit::uninit()),
             })
             .collect();
         RingQueue {
@@ -200,8 +198,13 @@ impl<T> RingQueue<T> {
                         // SAFETY: winning the tail CAS for `tail` grants
                         // exclusive write access to this slot until the
                         // sequence release below.
-                        unsafe { (*slot.val.get()).write(value) };
-                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        slot.val.with_mut(|v| unsafe { (*v).write(value) });
+                        let publish = if csync::mutation(Mutation::RingPublishRelaxed) {
+                            Ordering::Relaxed
+                        } else {
+                            Ordering::Release
+                        };
+                        slot.seq.store(tail.wrapping_add(1), publish);
                         let depth = tail
                             .wrapping_add(1)
                             .wrapping_sub(self.head.0.load(Ordering::Relaxed));
@@ -231,12 +234,12 @@ impl<T> RingQueue<T> {
         self.stats.full_stalls.fetch_add(1, Ordering::Relaxed);
         let mut spins = 0u32;
         loop {
-            if spins < FULL_SPIN {
+            if spins < csync::spin_budget(FULL_SPIN) {
                 spins += 1;
-                std::hint::spin_loop();
+                csync::spin_loop();
             } else {
                 spins = 0;
-                std::thread::yield_now();
+                csync::thread::yield_now();
             }
             value = match self.try_push(value) {
                 Ok(()) => return Ok(()),
@@ -256,7 +259,7 @@ impl<T> RingQueue<T> {
             // SAFETY: the acquired sequence proves the producer's write
             // completed, and advancing head makes this consumer the sole
             // owner of the slot until the recycle release below.
-            let value = unsafe { (*slot.val.get()).assume_init_read() };
+            let value = slot.val.with(|v| unsafe { (*v).assume_init_read() });
             slot.seq
                 .store(head.wrapping_add(self.mask + 1), Ordering::Release);
             Some(value)
@@ -268,7 +271,7 @@ impl<T> RingQueue<T> {
     /// Record the calling thread as the ring's consumer (for doorbell
     /// wakes). Call once from the worker before the first `park_consumer`.
     pub fn register_consumer(&self) {
-        *self.consumer.lock() = Some(std::thread::current());
+        *self.consumer.lock() = Some(csync::thread::current());
     }
 
     /// Park the consumer until a producer rings the doorbell. Must only be
@@ -278,7 +281,7 @@ impl<T> RingQueue<T> {
     /// spuriously; callers loop.
     pub fn park_consumer(&self) {
         self.parked.store(true, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
+        csync::fence(Ordering::SeqCst);
         // Dekker re-check: a producer either sees `parked == true` after
         // its publish (and unparks us), or its publish is visible to this
         // emptiness check (and we bail out).
@@ -286,19 +289,22 @@ impl<T> RingQueue<T> {
             self.parked.store(false, Ordering::SeqCst);
             return;
         }
-        std::thread::park();
+        csync::thread::park();
         self.parked.store(false, Ordering::SeqCst);
         self.stats.park_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn is_empty(&self) -> bool {
+    /// No slots claimed: `tail` advances at claim time (before the value is
+    /// published), so `false` here can mean "an entry is still being
+    /// written", not just "an entry is poppable".
+    pub(crate) fn is_empty(&self) -> bool {
         let head = self.head.0.load(Ordering::SeqCst);
         let tail = self.tail.0.load(Ordering::SeqCst);
         tail == head
     }
 
     fn ring_doorbell(&self) {
-        fence(Ordering::SeqCst);
+        csync::fence(Ordering::SeqCst);
         if self.parked.load(Ordering::SeqCst) && self.parked.swap(false, Ordering::SeqCst) {
             if let Some(t) = self.consumer.lock().as_ref() {
                 t.unpark();

@@ -1,7 +1,7 @@
 //! Cross-process transport: the RVMA wire protocol over shared memory.
 //!
 //! This is the first backend where initiator and target live in *different
-//! OS processes*. A file-backed [`ShmSegment`](crate::shm::ShmSegment)
+//! OS processes*. A file-backed [`ShmSegment`]
 //! carries two bounded rings of fixed-size slots — the Vyukov design of
 //! [`crate::ring`] re-laid over raw shared memory, with futex doorbells
 //! replacing the in-process Dekker unpark:

@@ -122,6 +122,7 @@
 //! queues fault-free, so neither ever strands a fragment.
 
 use crate::addr::{NodeAddr, VirtAddr};
+use crate::csync::{self, AtomicU64 as CheckedU64, Mutation};
 use crate::endpoint::{DeliverResult, EndpointConfig, Fragment, RvmaEndpoint};
 use crate::error::{NackReason, Result, RvmaError};
 use crate::notify::AtomicWaker;
@@ -384,17 +385,21 @@ impl Shared {
 /// even when stable, odd while a writer is mid-publish; readers that
 /// observe a seq change retry as a miss. All fields are atomics, so
 /// readers and the (single successful) writer never data-race.
+///
+/// `pub(crate)` (fields on the checked `csync` atomics) so the
+/// `check::models` suite can enumerate reader-vs-publisher interleavings
+/// against the shipping implementation.
 #[derive(Default)]
-struct RouteSlot {
-    seq: AtomicU64,
-    dest: AtomicU64,
-    vaddr: AtomicU64,
-    generation: AtomicU64,
-    queue: AtomicU64,
+pub(crate) struct RouteSlot {
+    seq: CheckedU64,
+    dest: CheckedU64,
+    vaddr: CheckedU64,
+    generation: CheckedU64,
+    queue: CheckedU64,
 }
 
 impl RouteSlot {
-    fn read(&self, dest: u64, vaddr: u64, generation: u64) -> Option<usize> {
+    pub(crate) fn read(&self, dest: u64, vaddr: u64, generation: u64) -> Option<usize> {
         let s1 = self.seq.load(Ordering::Acquire);
         if s1 & 1 == 1 {
             return None;
@@ -409,7 +414,18 @@ impl RouteSlot {
         (d == dest && v == vaddr && g == generation).then_some(q as usize)
     }
 
-    fn publish(&self, dest: u64, vaddr: u64, generation: u64, queue: usize) {
+    pub(crate) fn publish(&self, dest: u64, vaddr: u64, generation: u64, queue: usize) {
+        // Seeded mutation (checker builds only): skip the odd-sequence
+        // write lock and store the fields bare — a concurrent reader can
+        // then observe a half-updated route that still passes its seq
+        // recheck. `check::mutations` proves the model flags this.
+        if csync::mutation(Mutation::SeqlockTornPublish) {
+            self.dest.store(dest, Ordering::Release);
+            self.vaddr.store(vaddr, Ordering::Release);
+            self.generation.store(generation, Ordering::Release);
+            self.queue.store(queue as u64, Ordering::Release);
+            return;
+        }
         let s = self.seq.load(Ordering::Relaxed);
         if s & 1 == 1 {
             return; // another writer mid-publish: caching is best-effort

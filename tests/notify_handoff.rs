@@ -11,6 +11,13 @@
 //!   completer interleaves;
 //! * `wait_any_timeout` honors one overall deadline (regression: it used
 //!   to restart the clock every park round).
+//!
+//! These races are *sampled* here with real threads and delay sweeps; the
+//! completing-write vs. poll/wait/future handoff (including
+//! wake-before-register and dropped-future reuse) is *exhaustively
+//! enumerated* by the model checker — see the `notify_*` models in
+//! `crates/core/src/check/models.rs` (`cargo test -p rvma-core
+//! --features check`).
 
 use rvma::core::transport::DeliveryOrder;
 use rvma::core::{

@@ -6,6 +6,12 @@
 //! with the error — **exactly once**, never both, never lost — and the
 //! shared counters stay consistent (`max_depth` bounded by the capacity,
 //! `full_stalls` counted once per stalled push).
+//!
+//! These invariants are *sampled* here under real contention; the same
+//! partition and per-producer FIFO properties are *exhaustively
+//! enumerated* on a scaled-down program by the model checker — see
+//! `ring_push_close_pop_partition` in `crates/core/src/check/models.rs`
+//! (`cargo test -p rvma-core --features check`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
